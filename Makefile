@@ -1,0 +1,39 @@
+# Standard targets for the nutriprofile reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at full harness scale.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# Short fuzzing pass over every parser surface.
+fuzz:
+	$(GO) test -fuzz FuzzParseQuantity -fuzztime 15s ./internal/units/
+	$(GO) test -fuzz FuzzParseServings -fuzztime 15s ./internal/units/
+	$(GO) test -fuzz FuzzNormalize -fuzztime 15s ./internal/units/
+	$(GO) test -fuzz FuzzTokenize -fuzztime 15s ./internal/textutil/
+	$(GO) test -fuzz FuzzExpandFractions -fuzztime 15s ./internal/textutil/
+	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/recipedb/
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,280 @@
+// Package bench is the benchmark harness: one benchmark per table and
+// figure of the paper (see DESIGN.md §4). Each benchmark runs the same
+// experiment implementation cmd/experiments prints, at a reduced default
+// scale, and reports the reproduced headline metric through
+// b.ReportMetric so `go test -bench=. -benchmem` regenerates the paper's
+// numbers alongside the timings. cmd/experiments runs the identical code
+// at full scale.
+package bench
+
+import (
+	"testing"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/experiments"
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/usda"
+)
+
+// benchParams is the reduced scale used inside benchmarks; large enough
+// for the distributions to stabilize, small enough that the whole suite
+// runs in seconds.
+func benchParams() experiments.Params {
+	p := experiments.Defaults()
+	p.Recipes = 1500
+	p.TrainPhrases = 1200
+	p.TestPhrases = 400
+	p.Folds = 3
+	return p
+}
+
+// BenchmarkTableI_NER times the Table I extraction (NER over the twelve
+// Piroszhki phrases).
+func BenchmarkTableI_NER(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableI(nil)
+		if len(r.Rows) != 12 {
+			b.Fatalf("Table I rows = %d", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkTableII_Descriptions verifies and times the Table II
+// description inventory check.
+func BenchmarkTableII_Descriptions(b *testing.B) {
+	db := usda.Seed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableII(db)
+		if len(r.Missing) != 0 {
+			b.Fatalf("missing descriptions: %v", r.Missing)
+		}
+	}
+}
+
+// BenchmarkTableIII_ModifiedVsVanilla regenerates the Table III
+// comparison and reports the corpus divergence rate (paper: 227/1000 =
+// 22.7%).
+func BenchmarkTableIII_ModifiedVsVanilla(b *testing.B) {
+	p := benchParams()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableIII(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.Divergence.Rate
+	}
+	b.ReportMetric(100*rate, "divergence_%")
+}
+
+// BenchmarkTableIV_UnitRelations regenerates the butter unit table and
+// reports the derived teaspoon calories (paper's reference: ≈35 kcal).
+func BenchmarkTableIV_UnitRelations(b *testing.B) {
+	var kcal float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		kcal = r.TeaspoonKcal
+	}
+	b.ReportMetric(kcal, "tsp_butter_kcal")
+}
+
+// BenchmarkFig2_PercentMapping regenerates the Fig. 2 mapping histogram
+// and reports the mean mapped fraction.
+func BenchmarkFig2_PercentMapping(b *testing.B) {
+	p := benchParams()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = r.Mapping.MeanMapped
+	}
+	b.ReportMetric(100*mean, "mean_mapped_%")
+}
+
+// BenchmarkNER_F1 runs the §II-A protocol (POS clustering, balanced
+// selection, k-fold CV) and reports the cross-validated micro-F1
+// (paper: 0.95).
+func BenchmarkNER_F1(b *testing.B) {
+	p := benchParams()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NERF1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = r.CV.MeanMicroF1
+	}
+	b.ReportMetric(f1, "micro_F1")
+}
+
+// BenchmarkMatchRate reproduces the §III unique-ingredient match rate
+// (paper: 94.49%).
+func BenchmarkMatchRate(b *testing.B) {
+	p := benchParams()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MatchRateExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = r.Rate.Rate
+	}
+	b.ReportMetric(100*rate, "match_rate_%")
+}
+
+// BenchmarkMatchAccuracy reproduces the §III top-N accuracy figure
+// (paper: 71.6% on the 5000 most frequent).
+func BenchmarkMatchAccuracy(b *testing.B) {
+	p := benchParams()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MatchAccuracyExperiment(p, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = r.Accuracy.Accuracy
+	}
+	b.ReportMetric(100*acc, "accuracy_%")
+}
+
+// BenchmarkCalorieError reproduces the §III per-serving calorie error
+// (paper: 36.42 kcal over 2,482 fully-mapped recipes).
+func BenchmarkCalorieError(b *testing.B) {
+	p := benchParams()
+	var mae, med float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CalorieExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mae, med = r.Result.MeanAbsError, r.Result.MedianError
+	}
+	b.ReportMetric(mae, "mean_abs_kcal")
+	b.ReportMetric(med, "median_kcal")
+}
+
+// BenchmarkAblation_Matcher times the §II-B heuristic ablation sweep.
+func BenchmarkAblation_Matcher(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MatcherAblation(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_UnitChain times the §II-C fallback-chain ablation.
+func BenchmarkAblation_UnitChain(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UnitChainAblation(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldCorrection runs the cooking-yield extension experiment
+// (paper §I's Bognár remark) and reports the error with and without the
+// correction.
+func BenchmarkYieldCorrection(b *testing.B) {
+	p := benchParams()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.YieldExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = r.CorrectedMAE, r.UncorrectedMAE
+	}
+	b.ReportMetric(without, "uncorrected_kcal")
+	b.ReportMetric(with, "corrected_kcal")
+}
+
+// BenchmarkFAOIncorporation runs the multi-database extension experiment
+// (paper §III's FAO remark) and reports match rates with and without the
+// regional table.
+func BenchmarkFAOIncorporation(b *testing.B) {
+	p := benchParams()
+	var primary, merged float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FAOExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		primary, merged = r.PrimaryRate, r.MergedRate
+	}
+	b.ReportMetric(100*primary, "primary_rate_%")
+	b.ReportMetric(100*merged, "merged_rate_%")
+}
+
+// BenchmarkTypoTolerance runs the fuzzy-matching extension experiment and
+// reports the match rate recovered on a typo-corrupted corpus.
+func BenchmarkTypoTolerance(b *testing.B) {
+	p := benchParams()
+	var exact, fuzzy float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TypoExperiment(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, fuzzy = r.ExactRate, r.FuzzyRate
+	}
+	b.ReportMetric(100*exact, "exact_rate_%")
+	b.ReportMetric(100*fuzzy, "fuzzy_rate_%")
+}
+
+// Component micro-benchmarks: the hot paths behind the experiments.
+
+func BenchmarkPipeline_SingleIngredient(b *testing.B) {
+	e := core.NewDefault()
+	phrases := []string{
+		"2 cups all-purpose flour",
+		"1 small onion , finely chopped",
+		"1/2 lb lean ground beef",
+		"1 teaspoon butter",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EstimateIngredient(phrases[i%len(phrases)])
+	}
+}
+
+func BenchmarkMatcher_SeedDB(b *testing.B) {
+	m := match.NewDefault(usda.Seed())
+	q := match.Query{Name: "low fat sour cream"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(q)
+	}
+}
+
+func BenchmarkMatcher_SRScaleDB(b *testing.B) {
+	// Real SR has ~7,800 foods; Merged pads the seed to that scale.
+	m := match.NewDefault(usda.Merged(7500, 3))
+	q := match.Query{Name: "golden harvest beans"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(q)
+	}
+}
+
+func BenchmarkNER_RuleTagger(b *testing.B) {
+	var rt ner.RuleTagger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ner.Extract(rt, "3/4 cup butter or 3/4 cup margarine , softened")
+	}
+}

@@ -1,0 +1,145 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments                       # run everything at default scale
+//	experiments -run tableIII,fig2    # a subset
+//	experiments -recipes 118071       # paper-scale corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nutriprofile/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all",
+		"comma-separated experiments: tableI,tableII,tableIII,tableIV,fig2,nerf1,matchrate,matchacc,calorie,ablation,units,yield,fao,typo")
+	recipes := flag.Int("recipes", 0, "corpus size (default 20000; paper scale is 118071)")
+	seed := flag.Int64("seed", 0, "corpus/training seed (default 42)")
+	flag.Parse()
+
+	p := experiments.Defaults()
+	if *recipes > 0 {
+		p.Recipes = *recipes
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if sel("tablei") {
+		fmt.Println(experiments.TableI(nil))
+	}
+	if sel("tableii") {
+		fmt.Println(experiments.TableII(nil))
+	}
+	if sel("tableiii") {
+		r, err := experiments.TableIII(p)
+		if err != nil {
+			fail("tableIII", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("tableiv") {
+		r, err := experiments.TableIV()
+		if err != nil {
+			fail("tableIV", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("fig2") {
+		r, err := experiments.Fig2(p)
+		if err != nil {
+			fail("fig2", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("nerf1") {
+		r, err := experiments.NERF1(p)
+		if err != nil {
+			fail("nerf1", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("matchrate") {
+		r, err := experiments.MatchRateExperiment(p)
+		if err != nil {
+			fail("matchrate", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("matchacc") {
+		r, err := experiments.MatchAccuracyExperiment(p, 5000)
+		if err != nil {
+			fail("matchacc", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("calorie") {
+		r, err := experiments.CalorieExperiment(p)
+		if err != nil {
+			fail("calorie", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("ablation") {
+		r, err := experiments.MatcherAblation(p)
+		if err != nil {
+			fail("ablation(matcher)", err)
+		}
+		fmt.Println("Matcher heuristics (§II-B):")
+		fmt.Println(r)
+		r2, err := experiments.UnitChainAblation(p)
+		if err != nil {
+			fail("ablation(units)", err)
+		}
+		fmt.Println("Unit-resolution chain (§II-C):")
+		fmt.Println(r2)
+	}
+	if sel("yield") {
+		r, err := experiments.YieldExperiment(p)
+		if err != nil {
+			fail("yield", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("fao") {
+		r, err := experiments.FAOExperiment(p)
+		if err != nil {
+			fail("fao", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("typo") {
+		r, err := experiments.TypoExperiment(p)
+		if err != nil {
+			fail("typo", err)
+		}
+		fmt.Println(r)
+	}
+	if sel("units") {
+		r, err := experiments.ModalUnits(p, []string{
+			"garlic", "butter", "flour", "sugar", "olive oil", "milk",
+		})
+		if err != nil {
+			fail("units", err)
+		}
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,125 @@
+// Command nutriprofile estimates the nutritional profile of a recipe from
+// its ingredient section, the end-to-end pipeline of the paper.
+//
+// Usage:
+//
+//	nutriprofile [-servings N] [-v] "2 cups flour" "1 cup sugar" ...
+//	echo "2 cups flour" | nutriprofile -servings 4
+//	nutriprofile -file recipe.txt -regional -yield
+//
+// Each argument (or stdin line) is one ingredient phrase; -file parses a
+// full plain-text recipe (title, servings, ingredient and instruction
+// sections). The tool prints the per-ingredient mapping trace and the
+// total and per-serving nutrient profiles.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/recipedb"
+	"nutriprofile/internal/report"
+	"nutriprofile/internal/usda"
+	"nutriprofile/internal/yield"
+)
+
+func main() {
+	servings := flag.Int("servings", 1, "number of servings the recipe yields")
+	verbose := flag.Bool("v", false, "print the per-ingredient extraction and match trace")
+	file := flag.String("file", "", "parse a plain-text recipe file instead of phrase arguments")
+	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
+	applyYield := flag.Bool("yield", false, "apply the cooking-yield correction (method from the recipe text)")
+	fuzzy := flag.Bool("fuzzy", false, "enable typo-tolerant matching")
+	flag.Parse()
+
+	phrases := flag.Args()
+	method := yield.None
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
+			os.Exit(1)
+		}
+		rec, err := recipedb.ParseText(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
+			os.Exit(1)
+		}
+		phrases = rec.Phrases()
+		method = rec.Method
+		if rec.Servings > 0 {
+			*servings = rec.Servings
+		}
+		fmt.Printf("%s  (%q, %d servings, method: %s)\n\n",
+			rec.Title, rec.ServingsText, *servings, method)
+	}
+	if len(phrases) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				phrases = append(phrases, line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "nutriprofile: reading stdin: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(phrases) == 0 {
+		fmt.Fprintln(os.Stderr, "nutriprofile: no ingredient phrases given (args, stdin or -file)")
+		os.Exit(2)
+	}
+
+	db := usda.Seed()
+	if *regional {
+		db = usda.WithRegional()
+	}
+	e, err := core.New(db, nil, core.Options{FuzzyMatch: *fuzzy})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if !*applyYield {
+		method = yield.None
+	}
+	res, err := e.EstimateRecipeCooked(phrases, *servings, method)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
+		os.Exit(1)
+	}
+
+	tb := report.NewTable("Ingredient Phrase", "Matched Food Description", "Grams", "kcal")
+	for _, ir := range res.Ingredients {
+		desc := "(unmatched)"
+		if ir.Matched {
+			desc = ir.Match.Desc
+		}
+		tb.AddRow(ir.Phrase, desc, report.F2(ir.Grams), report.F2(ir.Profile.EnergyKcal))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nMapped %s of ingredient lines\n", report.Pct(res.MappedFraction))
+
+	if *verbose {
+		fmt.Println()
+		for _, ir := range res.Ingredients {
+			fmt.Printf("%q\n  NER: name=%q state=%q qty=%q unit=%q temp=%q df=%q size=%q\n",
+				ir.Phrase, ir.Extraction.Name, ir.Extraction.State,
+				ir.Extraction.Quantity, ir.Extraction.Unit,
+				ir.Extraction.Temp, ir.Extraction.DryFresh, ir.Extraction.Size)
+			if ir.Matched {
+				fmt.Printf("  match: %q (NDB %d, J*=%.3f)\n  unit: %s via %s/%s → %.1f g\n",
+					ir.Match.Desc, ir.Match.NDB, ir.Match.Score,
+					ir.Unit, ir.UnitOrigin, ir.GramsVia, ir.Grams)
+			}
+		}
+	}
+
+	fmt.Printf("\nTotal (%d serving(s)):\n%s", *servings, res.Total.Table())
+	if *servings > 1 {
+		fmt.Printf("\nPer serving:\n%s", res.PerServing.Table())
+	}
+}

@@ -1,0 +1,66 @@
+// Matcher: description-matching diagnostics — shows how the §II-B
+// heuristics decide, side by side with the vanilla-Jaccard baseline.
+//
+// For each probe ingredient the example prints the top-3 candidates under
+// the Modified Jaccard Index with their scores, priorities and matched
+// words, and the choice the vanilla index would have made instead.
+//
+//	go run ./examples/matcher
+package main
+
+import (
+	"fmt"
+
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/usda"
+)
+
+func main() {
+	db := usda.Seed()
+	modified := match.NewDefault(db)
+	vanillaOpts := match.DefaultOptions()
+	vanillaOpts.Metric = match.VanillaJaccard
+	vanilla := match.New(db, vanillaOpts)
+
+	probes := []match.Query{
+		{Name: "unsalted butter"},
+		{Name: "skim milk"},
+		{Name: "red lentils"},
+		{Name: "egg whites"},
+		{Name: "whole eggs"},
+		{Name: "apple"},
+		{Name: "coriander", State: "ground"},
+		{Name: "cayenne pepper", State: "ground"},
+		{Name: "fava beans"},
+		{Name: "sesame seeds"},
+		{Name: "tomato paste"},
+		{Name: "garam masala"},
+	}
+
+	for _, q := range probes {
+		fmt.Printf("ingredient: %q", q.Name)
+		if q.State != "" {
+			fmt.Printf(" (state: %q)", q.State)
+		}
+		fmt.Println()
+
+		top := modified.Rank(q, 3)
+		if len(top) == 0 {
+			fmt.Println("  → no match (unmappable, like the paper's 'garam masala')")
+			fmt.Println()
+			continue
+		}
+		for i, r := range top {
+			marker := "   "
+			if i == 0 {
+				marker = " → "
+			}
+			fmt.Printf("%sJ*=%.3f prio=%-3d %-70s matched=%v\n",
+				marker, r.Score, r.Priority, r.Desc, r.Matched)
+		}
+		if v, ok := vanilla.Match(q); ok && v.NDB != top[0].NDB {
+			fmt.Printf("   vanilla JI would pick: %s  (the §II-B(e) bias)\n", v.Desc)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module nutriprofile
+
+go 1.22

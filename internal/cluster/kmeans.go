@@ -1,0 +1,210 @@
+// Package cluster implements k-means clustering over phrase vectors.
+//
+// The paper (§II-A) selects a diverse NER train/test corpus by
+// representing each ingredient phrase as a POS-tag frequency vector,
+// clustering the vectors, and sampling phrases from every cluster. This
+// package provides the clustering and the per-cluster sampling.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Result holds a k-means clustering: final centroids and the cluster
+// assignment of every input vector.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int
+	Iterations int
+}
+
+// Config controls KMeans.
+type Config struct {
+	K        int   // number of clusters (required, ≥1)
+	MaxIters int   // default 100
+	Seed     int64 // PRNG seed; clustering is deterministic given it
+}
+
+// KMeans clusters vectors (all of equal dimension) with k-means++
+// initialization and Lloyd iterations.
+func KMeans(vectors [][]float64, cfg Config) (*Result, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, errors.New("cluster: no vectors")
+	}
+	if cfg.K < 1 {
+		return nil, errors.New("cluster: K must be ≥ 1")
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, errors.New("cluster: inconsistent vector dimensions")
+		}
+		_ = i
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := initPlusPlus(vectors, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; empty clusters keep their position.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				next[c][d] += v[d]
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				copy(next[c], centroids[c])
+				continue
+			}
+			inv := 1.0 / float64(counts[c])
+			for d := 0; d < dim; d++ {
+				next[c][d] *= inv
+			}
+		}
+		centroids = next
+	}
+	return &Result{Centroids: centroids, Assignment: assign, Iterations: iters}, nil
+}
+
+// initPlusPlus seeds centroids with the k-means++ strategy: each new
+// centroid is drawn with probability proportional to squared distance
+// from the nearest existing centroid.
+func initPlusPlus(vectors [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vectors)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(vectors[rng.Intn(n)]))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, v := range vectors {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(v, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing centroids; pick uniformly.
+			centroids = append(centroids, clone(vectors[rng.Intn(n)]))
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(vectors[pick]))
+	}
+	return centroids
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SampleBalanced picks approximately total indices, drawing from every
+// cluster in proportion to its size but guaranteeing at least one draw
+// from each non-empty cluster — the paper's "selecting a subset of
+// ingredient phrases from each cluster". Selection is deterministic for
+// a given seed; returned indices are unique.
+func SampleBalanced(assign []int, k, total int, seed int64) []int {
+	if total <= 0 || len(assign) == 0 {
+		return nil
+	}
+	if total >= len(assign) {
+		out := make([]int, len(assign))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	members := make([][]int, k)
+	for i, c := range assign {
+		if c >= 0 && c < k {
+			members[c] = append(members[c], i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []int
+	n := len(assign)
+	for c := range members {
+		m := members[c]
+		if len(m) == 0 {
+			continue
+		}
+		quota := total * len(m) / n
+		if quota < 1 {
+			quota = 1
+		}
+		if quota > len(m) {
+			quota = len(m)
+		}
+		rng.Shuffle(len(m), func(i, j int) { m[i], m[j] = m[j], m[i] })
+		out = append(out, m[:quota]...)
+	}
+	// Trim overshoot deterministically.
+	if len(out) > total {
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		out = out[:total]
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates three well-separated Gaussian-ish blobs in 2-D.
+func blobs(perBlob int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	var vs [][]float64
+	var truth []int
+	for c, ctr := range centers {
+		for i := 0; i < perBlob; i++ {
+			vs = append(vs, []float64{
+				ctr[0] + rng.NormFloat64(),
+				ctr[1] + rng.NormFloat64(),
+			})
+			truth = append(truth, c)
+		}
+	}
+	return vs, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	vs, truth := blobs(50, 1)
+	res, err := KMeans(vs, Config{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true blob must map to exactly one k-means cluster.
+	blobToCluster := map[int]int{}
+	for i, b := range truth {
+		c := res.Assignment[i]
+		if prev, ok := blobToCluster[b]; ok && prev != c {
+			t.Fatalf("blob %d split across clusters %d and %d", b, prev, c)
+		}
+		blobToCluster[b] = c
+	}
+	if len(blobToCluster) != 3 {
+		t.Fatalf("recovered %d clusters, want 3", len(blobToCluster))
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, Config{K: 2}); err == nil {
+		t.Error("KMeans(nil) succeeded")
+	}
+	if _, err := KMeans([][]float64{{1}}, Config{K: 0}); err == nil {
+		t.Error("KMeans K=0 succeeded")
+	}
+	if _, err := KMeans([][]float64{{1, 2}, {1}}, Config{K: 1}); err == nil {
+		t.Error("KMeans ragged input succeeded")
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	vs := [][]float64{{0}, {1}, {2}}
+	res, err := KMeans(vs, Config{K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Errorf("K clipped to %d centroids, want 3", len(res.Centroids))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	vs, _ := blobs(30, 3)
+	a, _ := KMeans(vs, Config{K: 3, Seed: 7})
+	b, _ := KMeans(vs, Config{K: 3, Seed: 7})
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("k-means not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	vs := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(vs, Config{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Assignment {
+		if c < 0 || c >= 2 {
+			t.Fatalf("bad assignment %d", c)
+		}
+	}
+}
+
+func TestSampleBalanced(t *testing.T) {
+	// 3 clusters of sizes 60/30/10.
+	assign := make([]int, 100)
+	for i := range assign {
+		switch {
+		case i < 60:
+			assign[i] = 0
+		case i < 90:
+			assign[i] = 1
+		default:
+			assign[i] = 2
+		}
+	}
+	idx := SampleBalanced(assign, 3, 20, 5)
+	if len(idx) == 0 || len(idx) > 20 {
+		t.Fatalf("sampled %d, want (0,20]", len(idx))
+	}
+	seen := map[int]bool{}
+	perCluster := map[int]int{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+		perCluster[assign[i]]++
+	}
+	for c := 0; c < 3; c++ {
+		if perCluster[c] == 0 {
+			t.Errorf("cluster %d unrepresented in sample", c)
+		}
+	}
+	// Proportionality: the big cluster should dominate.
+	if perCluster[0] <= perCluster[2] {
+		t.Errorf("sampling not proportional: %v", perCluster)
+	}
+}
+
+func TestSampleBalancedEdges(t *testing.T) {
+	if got := SampleBalanced(nil, 3, 10, 1); got != nil {
+		t.Error("sampling empty assignment should return nil")
+	}
+	if got := SampleBalanced([]int{0, 1}, 2, 0, 1); got != nil {
+		t.Error("total=0 should return nil")
+	}
+	got := SampleBalanced([]int{0, 1, 0}, 2, 100, 1)
+	if len(got) != 3 {
+		t.Errorf("total>n should return all %d, got %d", 3, len(got))
+	}
+}
+
+// Property: assignments are always in range and every centroid has the
+// input dimensionality.
+func TestKMeansInvariants(t *testing.T) {
+	f := func(seed int64, rawK uint8) bool {
+		k := int(rawK%5) + 1
+		vs, _ := blobs(20, seed)
+		res, err := KMeans(vs, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Assignment {
+			if a < 0 || a >= len(res.Centroids) {
+				return false
+			}
+		}
+		for _, c := range res.Centroids {
+			if len(c) != 2 {
+				return false
+			}
+			for _, x := range c {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	vs, _ := blobs(200, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(vs, Config{K: 5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

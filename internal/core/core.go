@@ -1,0 +1,444 @@
+// Package core assembles the paper's full pipeline (Fig. 1): NER over
+// ingredient phrases (§II-A), Modified-Jaccard description matching
+// (§II-B), and unit matching with conversion-table and frequency
+// fallbacks (§II-C), producing per-ingredient and per-recipe nutritional
+// profiles as the sum of ingredient profiles.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/textutil"
+	"nutriprofile/internal/units"
+	"nutriprofile/internal/usda"
+	"nutriprofile/internal/yield"
+)
+
+// UnitOrigin records how the pipeline obtained an ingredient's unit.
+type UnitOrigin uint8
+
+const (
+	// UnitNone: no unit could be determined at all.
+	UnitNone UnitOrigin = iota
+	// UnitNER: the NER model tagged a UNIT token.
+	UnitNER
+	// UnitSize: the NER SIZE entity served as the unit (§II-C treats
+	// small/medium/large as units).
+	UnitSize
+	// UnitSearched: recovered by scanning the phrase for known units
+	// (§II-C: "we searched the ingredient phrase for known units").
+	UnitSearched
+	// UnitMostFrequent: the ingredient's most frequent corpus unit
+	// (§II-C: "the most frequent unit for that particular ingredient").
+	UnitMostFrequent
+	// UnitDefaultRow: the food's first weight-table row, the final
+	// fallback when no frequency data exists.
+	UnitDefaultRow
+)
+
+func (o UnitOrigin) String() string {
+	switch o {
+	case UnitNER:
+		return "ner"
+	case UnitSize:
+		return "size"
+	case UnitSearched:
+		return "searched"
+	case UnitMostFrequent:
+		return "most-frequent"
+	case UnitDefaultRow:
+		return "default-row"
+	default:
+		return "none"
+	}
+}
+
+// GramsVia records how the unit was turned into grams.
+type GramsVia uint8
+
+const (
+	// GramsNone: the unit never resolved to a gram weight.
+	GramsNone GramsVia = iota
+	// GramsWeightRow: an exact row of the food's weight table.
+	GramsWeightRow
+	// GramsConverted: reached through the volume/mass conversion tables
+	// (§II-C: "we can add teaspoon as a unit since the ratio of volume of
+	// a cup and a teaspoon is constant").
+	GramsConverted
+)
+
+func (v GramsVia) String() string {
+	switch v {
+	case GramsWeightRow:
+		return "weight-row"
+	case GramsConverted:
+		return "converted"
+	default:
+		return "none"
+	}
+}
+
+// Options configures the Estimator; zero-value disables nothing. The
+// Disable* switches exist for the ablation benchmarks.
+type Options struct {
+	// MaxGramsPerLine is the §II-C sanity threshold on quantity×unit
+	// ("putting a threshold on the quantity per unit"): lines computing
+	// heavier than this trigger quantity/unit re-pairing. Default 2500 g.
+	MaxGramsPerLine float64
+	// FuzzyMatch enables the typo-correction fallback: queries that find
+	// no description are retried with out-of-vocabulary words corrected
+	// to their closest vocabulary word (extension; see match.MatchFuzzy).
+	FuzzyMatch bool
+	// Ablation switches.
+	DisableConversion   bool
+	DisablePhraseSearch bool
+	DisableMostFrequent bool
+	DisableDefaultRow   bool
+	DisableRepair       bool
+}
+
+func (o *Options) fill() {
+	if o.MaxGramsPerLine <= 0 {
+		o.MaxGramsPerLine = 2500
+	}
+}
+
+// Estimator is the end-to-end pipeline. Construct with New; safe for
+// concurrent use once unit statistics are frozen.
+type Estimator struct {
+	db      *usda.DB
+	matcher *match.Matcher
+	tagger  ner.Tagger
+	opts    Options
+	// unitStats maps NDB → canonical unit → observation count, feeding
+	// the most-frequent-unit fallback. Populated by ObserveUnits.
+	unitStats map[int]map[string]int
+}
+
+// New builds an Estimator over a composition table with the given tagger.
+// A nil tagger selects the rule-based baseline.
+func New(db *usda.DB, tagger ner.Tagger, opts Options) (*Estimator, error) {
+	if db == nil {
+		return nil, errors.New("core: nil database")
+	}
+	if tagger == nil {
+		tagger = ner.RuleTagger{}
+	}
+	opts.fill()
+	return &Estimator{
+		db:        db,
+		matcher:   match.NewDefault(db),
+		tagger:    tagger,
+		opts:      opts,
+		unitStats: map[int]map[string]int{},
+	}, nil
+}
+
+// NewDefault builds an Estimator with the rule tagger and default options
+// over the seed database.
+func NewDefault() *Estimator {
+	e, err := New(usda.Seed(), nil, Options{})
+	if err != nil {
+		panic(err) // unreachable: seed DB is non-nil
+	}
+	return e
+}
+
+// Matcher exposes the underlying description matcher.
+func (e *Estimator) Matcher() *match.Matcher { return e.matcher }
+
+// DB exposes the composition table.
+func (e *Estimator) DB() *usda.DB { return e.db }
+
+// IngredientResult is the pipeline output for one phrase.
+type IngredientResult struct {
+	Phrase     string
+	Extraction ner.Extraction
+	Match      match.Result
+	Matched    bool // description match found (§II-B succeeded)
+	Quantity   float64
+	Unit       string // canonical unit, "" if unresolved
+	UnitOrigin UnitOrigin
+	GramsVia   GramsVia
+	Grams      float64
+	Profile    nutrition.Profile
+	// Mapped reports full success: matched AND grams resolved — the
+	// quantity Fig. 2 measures per recipe.
+	Mapped bool
+}
+
+// RecipeResult aggregates a recipe.
+type RecipeResult struct {
+	Ingredients []IngredientResult
+	Total       nutrition.Profile
+	PerServing  nutrition.Profile
+	Servings    int
+	// MappedFraction is the share of ingredient lines fully mapped to a
+	// nutritional profile — the x-axis of the paper's Fig. 2.
+	MappedFraction float64
+}
+
+// EstimateIngredient runs the full pipeline over one phrase.
+func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
+	res := IngredientResult{Phrase: phrase}
+	res.Extraction = ner.Extract(e.tagger, phrase)
+	if res.Extraction.Name == "" {
+		return res
+	}
+
+	q := match.Query{
+		Name:     res.Extraction.Name,
+		State:    res.Extraction.State,
+		Temp:     res.Extraction.Temp,
+		DryFresh: res.Extraction.DryFresh,
+	}
+	var m match.Result
+	var ok bool
+	if e.opts.FuzzyMatch {
+		m, ok = e.matcher.MatchFuzzy(q)
+	} else {
+		m, ok = e.matcher.Match(q)
+	}
+	if !ok {
+		return res
+	}
+	res.Match, res.Matched = m, true
+	food, _ := e.db.ByNDB(m.NDB)
+
+	res.Quantity = e.quantity(res.Extraction.Quantity)
+	e.resolveUnit(&res, food)
+	if res.Grams > 0 {
+		res.Profile = food.Per100g.ForGrams(res.Grams)
+		res.Mapped = true
+	}
+	return res
+}
+
+// quantity normalizes the extracted quantity; missing or unparseable
+// quantities default to 1, the bare-count reading.
+func (e *Estimator) quantity(raw string) float64 {
+	if raw == "" {
+		return 1
+	}
+	v, err := units.ParseQuantity(raw)
+	if err != nil || v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// resolveUnit runs the §II-C fallback chain, filling Unit, UnitOrigin,
+// GramsVia and Grams.
+func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food) {
+	tokens := textutil.Tokenize(res.Phrase)
+
+	try := func(unit string, origin UnitOrigin, qty float64) bool {
+		grams, via := e.gramsFor(food, unit, qty)
+		if grams <= 0 {
+			return false
+		}
+		if grams > e.opts.MaxGramsPerLine {
+			if e.opts.DisableRepair {
+				return false
+			}
+			// §II-C threshold: implausibly heavy lines ("500 cups") are
+			// re-paired by scanning for an adjacent quantity+unit pair.
+			if g2, u2, q2, ok := e.repair(food, tokens); ok && g2 <= e.opts.MaxGramsPerLine {
+				res.Unit, res.UnitOrigin, res.GramsVia = u2, UnitSearched, GramsWeightRow
+				res.Quantity, res.Grams = q2, g2
+				if _, exact := food.GramsForUnit(u2); !exact {
+					res.GramsVia = GramsConverted
+				}
+				return true
+			}
+			return false
+		}
+		res.Unit, res.UnitOrigin, res.GramsVia = unit, origin, via
+		res.Grams = grams
+		return true
+	}
+
+	// 1. The NER UNIT entity.
+	if res.Extraction.Unit != "" {
+		if name, known := units.Normalize(res.Extraction.Unit); known {
+			if try(name, UnitNER, res.Quantity) {
+				return
+			}
+		}
+	}
+	// 2. The NER SIZE entity doubles as a unit (§II-C).
+	if res.Extraction.Size != "" {
+		if name, known := units.Normalize(res.Extraction.Size); known {
+			if try(name, UnitSize, res.Quantity) {
+				return
+			}
+		}
+	}
+	// 3. Phrase scan for any known unit.
+	if !e.opts.DisablePhraseSearch {
+		if name, _, ok := units.FindInPhrase(tokens); ok {
+			if try(name, UnitSearched, res.Quantity) {
+				return
+			}
+		}
+	}
+	// 4. Most frequent unit for this ingredient.
+	if !e.opts.DisableMostFrequent {
+		if unit := e.mostFrequentUnit(food.NDB); unit != "" {
+			if try(unit, UnitMostFrequent, res.Quantity) {
+				return
+			}
+		}
+	}
+	// 5. The food's first RESOLVABLE weight row (SR rows with unit
+	// spellings outside the alias inventory are skipped).
+	if !e.opts.DisableDefaultRow {
+		for _, wRow := range food.Weights {
+			name, known := units.Normalize(wRow.Unit)
+			if !known {
+				continue
+			}
+			if try(name, UnitDefaultRow, res.Quantity) {
+				return
+			}
+			break // first resolvable row only, per §II-C consistency
+		}
+	}
+}
+
+// gramsFor turns (unit, qty) into grams for a food: exact weight row
+// first, then the conversion lattice.
+func (e *Estimator) gramsFor(food *usda.Food, unit string, qty float64) (float64, GramsVia) {
+	if gpu, ok := food.GramsForUnit(unit); ok {
+		return qty * gpu, GramsWeightRow
+	}
+	if e.opts.DisableConversion {
+		return 0, GramsNone
+	}
+	kind, err := units.KindOf(unit)
+	if err != nil {
+		return 0, GramsNone
+	}
+	switch kind {
+	case units.Mass:
+		g, err := units.Grams(qty, unit)
+		if err != nil {
+			return 0, GramsNone
+		}
+		return g, GramsConverted
+	case units.Volume:
+		// Bridge through any volume row in the food's weight table
+		// (§II-C: add teaspoon for butter via the cup row).
+		for _, w := range food.Weights {
+			name, known := units.Normalize(w.Unit)
+			if !known {
+				continue
+			}
+			if k, err := units.KindOf(name); err != nil || k != units.Volume {
+				continue
+			}
+			ratio, err := units.Ratio(unit, name)
+			if err != nil {
+				continue
+			}
+			return qty * ratio * w.GramsPerOne(), GramsConverted
+		}
+	}
+	return 0, GramsNone
+}
+
+// repair scans for adjacent (quantity, unit) token pairs and returns the
+// first pair that yields a plausible gram weight — the semi-automated
+// recovery for dual-unit phrases like "500 g or 1 cup".
+func (e *Estimator) repair(food *usda.Food, tokens []string) (grams float64, unit string, qty float64, ok bool) {
+	for i := 0; i+1 < len(tokens); i++ {
+		q, err := units.ParseQuantity(tokens[i])
+		if err != nil || q <= 0 {
+			continue
+		}
+		name, known := units.Normalize(tokens[i+1])
+		if !known {
+			continue
+		}
+		g, via := e.gramsFor(food, name, q)
+		if via != GramsNone && g > 0 && g <= e.opts.MaxGramsPerLine {
+			return g, name, q, true
+		}
+	}
+	return 0, "", 0, false
+}
+
+// mostFrequentUnit returns the modal observed unit for a food, or "".
+func (e *Estimator) mostFrequentUnit(ndb int) string {
+	counts := e.unitStats[ndb]
+	best, bestN := "", 0
+	for u, n := range counts {
+		if n > bestN || (n == bestN && u < best) {
+			best, bestN = u, n
+		}
+	}
+	return best
+}
+
+// ObserveUnits performs the corpus statistics pass behind the
+// most-frequent-unit fallback: phrases whose units resolve directly
+// (NER/size/search) contribute counts keyed by matched food.
+func (e *Estimator) ObserveUnits(phrases []string) {
+	for _, p := range phrases {
+		r := e.EstimateIngredient(p)
+		if !r.Matched || r.Unit == "" {
+			continue
+		}
+		switch r.UnitOrigin {
+		case UnitNER, UnitSize, UnitSearched:
+			m := e.unitStats[r.Match.NDB]
+			if m == nil {
+				m = map[string]int{}
+				e.unitStats[r.Match.NDB] = m
+			}
+			m[r.Unit]++
+		}
+	}
+}
+
+// EstimateRecipe runs the pipeline over a recipe's ingredient section.
+func (e *Estimator) EstimateRecipe(phrases []string, servings int) (RecipeResult, error) {
+	if len(phrases) == 0 {
+		return RecipeResult{}, errors.New("core: recipe has no ingredients")
+	}
+	if servings <= 0 {
+		return RecipeResult{}, fmt.Errorf("core: invalid servings %d", servings)
+	}
+	out := RecipeResult{Servings: servings}
+	mapped := 0
+	for _, p := range phrases {
+		r := e.EstimateIngredient(p)
+		out.Ingredients = append(out.Ingredients, r)
+		out.Total = out.Total.Add(r.Profile)
+		if r.Mapped {
+			mapped++
+		}
+	}
+	out.PerServing = out.Total.Scale(1 / float64(servings))
+	out.MappedFraction = float64(mapped) / float64(len(phrases))
+	return out, nil
+}
+
+// EstimateRecipeCooked runs EstimateRecipe and then applies the
+// cooking-yield correction of the given method to the totals — the
+// Bognár-style adjustment the paper cites as the accuracy gap of the
+// raw-ingredient-sum approximation. With yield.None it is identical to
+// EstimateRecipe.
+func (e *Estimator) EstimateRecipeCooked(phrases []string, servings int, m yield.Method) (RecipeResult, error) {
+	out, err := e.EstimateRecipe(phrases, servings)
+	if err != nil {
+		return out, err
+	}
+	out.Total = yield.Apply(out.Total, m)
+	out.PerServing = yield.Apply(out.PerServing, m)
+	return out, nil
+}

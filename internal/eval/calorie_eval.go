@@ -1,0 +1,277 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/recipedb"
+	"nutriprofile/internal/units"
+)
+
+// Histogram is a fixed-bucket distribution over [0,1] used for Fig. 2's
+// "percentage mapping of recipes to their nutritional profile".
+type Histogram struct {
+	// Counts[i] holds values in [i*10%, (i+1)*10%) for i < 10;
+	// Counts[10] holds exactly 100%.
+	Counts [11]int
+	Total  int
+}
+
+// Observe adds one fraction in [0,1].
+func (h *Histogram) Observe(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	idx := int(frac * 10)
+	if frac == 1 {
+		idx = 10
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// BucketLabel names bucket i, e.g. "70-80%" or "100%".
+func (h *Histogram) BucketLabel(i int) string {
+	if i == 10 {
+		return "100%"
+	}
+	return bucketNames[i]
+}
+
+var bucketNames = [10]string{
+	"0-10%", "10-20%", "20-30%", "30-40%", "40-50%",
+	"50-60%", "60-70%", "70-80%", "80-90%", "90-100%",
+}
+
+// MappingResult is the Fig. 2 experiment output.
+type MappingResult struct {
+	Hist Histogram
+	// FullyMapped counts recipes with 100% of ingredients mapped — the
+	// paper's calorie-evaluation subset criterion.
+	FullyMapped int
+	MeanMapped  float64
+}
+
+// PercentMapping runs the estimator over a corpus and histograms each
+// recipe's mapped-ingredient fraction.
+func PercentMapping(e *core.Estimator, corpus *recipedb.Corpus) (MappingResult, error) {
+	if corpus.Len() == 0 {
+		return MappingResult{}, errors.New("eval: empty corpus")
+	}
+	var res MappingResult
+	sum := 0.0
+	for i := range corpus.Recipes {
+		rec := &corpus.Recipes[i]
+		phrases := make([]string, len(rec.Ingredients))
+		for j := range rec.Ingredients {
+			phrases[j] = rec.Ingredients[j].Phrase
+		}
+		rr, err := e.EstimateRecipe(phrases, rec.Servings)
+		if err != nil {
+			return MappingResult{}, err
+		}
+		res.Hist.Observe(rr.MappedFraction)
+		sum += rr.MappedFraction
+		if rr.MappedFraction == 1 {
+			res.FullyMapped++
+		}
+	}
+	res.MeanMapped = sum / float64(corpus.Len())
+	return res, nil
+}
+
+// CalorieConfig controls the §III calorie-error experiment.
+type CalorieConfig struct {
+	// GoldNoiseStd perturbs the gold per-serving calories by a relative
+	// Gaussian factor, simulating the physical variation between the
+	// generative model and an independent third-party profile (cooking
+	// yield, measurement variance). Default 0.05 (5%).
+	GoldNoiseStd float64
+	// Seed drives the noise.
+	Seed int64
+	// RequireFullMapping keeps only recipes whose every ingredient
+	// mapped, the paper's selection ("We selected data for which we had
+	// 100% mapping of ingredients ... resulted in 2482 recipes").
+	RequireFullMapping bool
+	// RequireCleanServings additionally keeps only recipes whose
+	// published servings text parses to a single unambiguous integer —
+	// the paper's "had clean, well-defined servings" criterion.
+	RequireCleanServings bool
+}
+
+// CalorieResult is the §III error figure: the paper reports an average
+// per-serving error of 36.42 kcal over 2,482 fully-mapped recipes.
+// The per-nutrient MAE fields extend the paper's calories-only evaluation
+// to the full profile the title promises.
+type CalorieResult struct {
+	Recipes      int // recipes evaluated after selection
+	MeanAbsError float64
+	MedianError  float64
+	MeanGoldKcal float64
+	MeanEstKcal  float64
+	MeanRelError float64 // mean |err| / gold
+	// Per-serving mean absolute error for the macro profile.
+	ProteinMAE, FatMAE, CarbsMAE float64 // g
+	SodiumMAE                    float64 // mg
+	// ExcludedUncleanServings counts recipes dropped by the
+	// clean-servings criterion.
+	ExcludedUncleanServings int
+	// CILow/CIHigh bound the mean absolute error's 95% bootstrap
+	// confidence interval (1,000 resamples).
+	CILow, CIHigh float64
+}
+
+// CalorieError runs the estimator over the corpus and scores per-serving
+// calorie error against (noisy) gold.
+func CalorieError(e *core.Estimator, corpus *recipedb.Corpus, cfg CalorieConfig) (CalorieResult, error) {
+	if corpus.Len() == 0 {
+		return CalorieResult{}, errors.New("eval: empty corpus")
+	}
+	if cfg.GoldNoiseStd == 0 {
+		cfg.GoldNoiseStd = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var errs []float64
+	var res CalorieResult
+	for i := range corpus.Recipes {
+		rec := &corpus.Recipes[i]
+		// The servings the pipeline sees come from the published text,
+		// exactly as they would from a scraped site.
+		servings, clean, ok := units.ParseServings(rec.ServingsText)
+		if !ok {
+			servings, clean = rec.Servings, true
+		}
+		phrases := make([]string, len(rec.Ingredients))
+		for j := range rec.Ingredients {
+			phrases[j] = rec.Ingredients[j].Phrase
+		}
+		rr, err := e.EstimateRecipe(phrases, servings)
+		if err != nil {
+			return CalorieResult{}, err
+		}
+		// Noise must be drawn unconditionally to keep selection from
+		// changing the random stream of later recipes.
+		noise := 1 + rng.NormFloat64()*cfg.GoldNoiseStd
+		if cfg.RequireFullMapping && rr.MappedFraction < 1 {
+			continue
+		}
+		if cfg.RequireCleanServings && !clean {
+			res.ExcludedUncleanServings++
+			continue
+		}
+		goldPS := rec.GoldPerServing()
+		gold := goldPS.EnergyKcal * noise
+		est := rr.PerServing.EnergyKcal
+		absErr := math.Abs(est - gold)
+		errs = append(errs, absErr)
+		res.Recipes++
+		res.MeanAbsError += absErr
+		res.MeanGoldKcal += gold
+		res.MeanEstKcal += est
+		if gold > 0 {
+			res.MeanRelError += absErr / gold
+		}
+		res.ProteinMAE += math.Abs(rr.PerServing.ProteinG - goldPS.ProteinG*noise)
+		res.FatMAE += math.Abs(rr.PerServing.FatG - goldPS.FatG*noise)
+		res.CarbsMAE += math.Abs(rr.PerServing.CarbsG - goldPS.CarbsG*noise)
+		res.SodiumMAE += math.Abs(rr.PerServing.SodiumMg - goldPS.SodiumMg*noise)
+	}
+	if res.Recipes == 0 {
+		return CalorieResult{}, errors.New("eval: no recipes passed selection")
+	}
+	n := float64(res.Recipes)
+	res.MeanAbsError /= n
+	res.MeanGoldKcal /= n
+	res.MeanEstKcal /= n
+	res.MeanRelError /= n
+	res.ProteinMAE /= n
+	res.FatMAE /= n
+	res.CarbsMAE /= n
+	res.SodiumMAE /= n
+	res.MedianError = median(errs)
+	res.CILow, res.CIHigh = bootstrapMeanCI(errs, 1000, rng)
+	return res, nil
+}
+
+// bootstrapMeanCI returns the 2.5th and 97.5th percentiles of the mean
+// over resamples-many bootstrap resamples of xs.
+func bootstrapMeanCI(xs []float64, resamples int, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	means := make([]float64, resamples)
+	for b := 0; b < resamples; b++ {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	lo = means[int(0.025*float64(resamples))]
+	hi = means[int(0.975*float64(resamples))]
+	return lo, hi
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	// Insertion sort is fine at evaluation sizes.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// CorpusQueries extracts one labeled query per ingredient line of the
+// corpus, with frequency aggregation over identical (name, state) pairs —
+// the input for MatchRate and MatchAccuracyTopN.
+func CorpusQueries(corpus *recipedb.Corpus) []LabeledQuery {
+	type key struct {
+		name, state string
+	}
+	agg := map[key]*LabeledQuery{}
+	var order []key
+	for i := range corpus.Recipes {
+		for j := range corpus.Recipes[i].Ingredients {
+			g := &corpus.Recipes[i].Ingredients[j].Gold
+			k := key{g.Name, g.State}
+			if lq, ok := agg[k]; ok {
+				lq.Freq++
+				continue
+			}
+			agg[k] = &LabeledQuery{
+				Query: match.Query{
+					Name: g.Name, State: g.State,
+					Temp: g.Temp, DryFresh: g.DryFresh,
+				},
+				NDB:      g.NDB,
+				Regional: g.Regional,
+				Freq:     1,
+			}
+			order = append(order, k)
+		}
+	}
+	out := make([]LabeledQuery, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	return out
+}

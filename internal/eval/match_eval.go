@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"errors"
+	"sort"
+
+	"nutriprofile/internal/match"
+)
+
+// MatchRateResult is the §III "94.49% of the unique ingredients" figure.
+type MatchRateResult struct {
+	Unique  int // unique ingredient queries tried
+	Matched int // queries that found any description
+	Rate    float64
+}
+
+// MatchRate measures the fraction of unique queries the matcher maps to
+// any description.
+func MatchRate(m *match.Matcher, queries []match.Query) (MatchRateResult, error) {
+	if len(queries) == 0 {
+		return MatchRateResult{}, errors.New("eval: no queries")
+	}
+	seen := map[match.Query]bool{}
+	res := MatchRateResult{}
+	for _, q := range queries {
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		res.Unique++
+		if _, ok := m.Match(q); ok {
+			res.Matched++
+		}
+	}
+	res.Rate = float64(res.Matched) / float64(res.Unique)
+	return res, nil
+}
+
+// LabeledQuery pairs a query with its gold NDB (0 = genuinely
+// unmappable). Regional marks gold foods that live only in the FAO-style
+// regional table; primary-table accuracy skips them, the multi-database
+// experiment scores them.
+type LabeledQuery struct {
+	Query    match.Query
+	NDB      int
+	Regional bool
+	Freq     int // corpus frequency, for the paper's top-N protocol
+}
+
+// AccuracyResult is the §III manual-validation figure: of the 5000 most
+// frequent ingredient+state pairs, 71.6% were deemed correct.
+type AccuracyResult struct {
+	Evaluated int
+	Correct   int
+	Accuracy  float64
+}
+
+// MatchAccuracyTopN ranks labeled queries by corpus frequency, takes the
+// top n mappable ones, and scores the matcher's choice against gold.
+func MatchAccuracyTopN(m *match.Matcher, queries []LabeledQuery, n int) (AccuracyResult, error) {
+	var mappable []LabeledQuery
+	for _, q := range queries {
+		if q.NDB != 0 && !q.Regional {
+			mappable = append(mappable, q)
+		}
+	}
+	if len(mappable) == 0 {
+		return AccuracyResult{}, errors.New("eval: no mappable labeled queries")
+	}
+	sort.SliceStable(mappable, func(i, j int) bool { return mappable[i].Freq > mappable[j].Freq })
+	if n > 0 && len(mappable) > n {
+		mappable = mappable[:n]
+	}
+	res := AccuracyResult{}
+	for _, lq := range mappable {
+		res.Evaluated++
+		if r, ok := m.Match(lq.Query); ok && r.NDB == lq.NDB {
+			res.Correct++
+		}
+	}
+	res.Accuracy = float64(res.Correct) / float64(res.Evaluated)
+	return res, nil
+}
+
+// Divergence counts queries on which two matchers disagree — the paper's
+// "227 out of 1000 randomly sampled ingredient phrases ... having a
+// different match" comparison between the modified and vanilla indices.
+type Divergence struct {
+	Compared  int
+	Different int
+	Rate      float64
+	// Examples lists up to 10 diverging (query, A-choice, B-choice)
+	// triples for Table III style reporting.
+	Examples []DivergenceExample
+}
+
+// DivergenceExample is one diverging query.
+type DivergenceExample struct {
+	Query        match.Query
+	DescA, DescB string
+}
+
+// CompareMatchers measures how often two matcher configurations choose
+// different descriptions for the same queries.
+func CompareMatchers(a, b *match.Matcher, queries []match.Query) (Divergence, error) {
+	if len(queries) == 0 {
+		return Divergence{}, errors.New("eval: no queries")
+	}
+	d := Divergence{}
+	for _, q := range queries {
+		ra, okA := a.Match(q)
+		rb, okB := b.Match(q)
+		if !okA && !okB {
+			continue
+		}
+		d.Compared++
+		if okA != okB || ra.NDB != rb.NDB {
+			d.Different++
+			if len(d.Examples) < 10 {
+				d.Examples = append(d.Examples, DivergenceExample{
+					Query: q, DescA: ra.Desc, DescB: rb.Desc,
+				})
+			}
+		}
+	}
+	if d.Compared > 0 {
+		d.Rate = float64(d.Different) / float64(d.Compared)
+	}
+	return d, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/eval"
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/report"
+	"nutriprofile/internal/usda"
+)
+
+// FAOResult quantifies the paper's §III remedy for region-centric
+// coverage gaps: "Incorporation of other data as mentioned in Food and
+// Agricultural Organisation of the United Nations would help in improving
+// the results". It compares the pipeline on the US-centric primary table
+// alone against the primary merged with the FAO-style regional table
+// (usda.WithRegional).
+type FAOResult struct {
+	// Match rate over unique ingredient queries.
+	PrimaryRate, MergedRate float64
+	// Regional recall: fraction of regional-gold queries mapped to their
+	// exact regional food by the merged matcher (the primary cannot map
+	// them at all).
+	RegionalQueries int
+	RegionalCorrect int
+	// Mean mapped fraction and fully-mapped recipe count (Fig. 2 axis).
+	PrimaryMeanMapped, MergedMeanMapped float64
+	PrimaryFully, MergedFully           int
+	// Per-serving calorie MAE on each configuration's fully-mapped set.
+	PrimaryMAE, MergedMAE float64
+}
+
+// FAOExperiment runs both configurations over the same corpus.
+func FAOExperiment(p Params) (FAOResult, error) {
+	p.fill()
+	corpus, err := Corpus(p)
+	if err != nil {
+		return FAOResult{}, err
+	}
+	lqs := eval.CorpusQueries(corpus)
+	queries := make([]match.Query, len(lqs))
+	for i, lq := range lqs {
+		queries[i] = lq.Query
+	}
+
+	var res FAOResult
+	primaryMatcher := match.NewDefault(usda.Seed())
+	mergedMatcher := match.NewDefault(usda.WithRegional())
+	if r, err := eval.MatchRate(primaryMatcher, queries); err == nil {
+		res.PrimaryRate = r.Rate
+	} else {
+		return res, err
+	}
+	if r, err := eval.MatchRate(mergedMatcher, queries); err == nil {
+		res.MergedRate = r.Rate
+	} else {
+		return res, err
+	}
+
+	// Regional recall under the merged matcher.
+	for _, lq := range lqs {
+		if !lq.Regional {
+			continue
+		}
+		res.RegionalQueries++
+		if r, ok := mergedMatcher.Match(lq.Query); ok && r.NDB == lq.NDB {
+			res.RegionalCorrect++
+		}
+	}
+
+	// End-to-end mapping and calorie error per configuration.
+	for _, cfg := range []struct {
+		db     *usda.DB
+		mapped *float64
+		fully  *int
+		mae    *float64
+	}{
+		{usda.Seed(), &res.PrimaryMeanMapped, &res.PrimaryFully, &res.PrimaryMAE},
+		{usda.WithRegional(), &res.MergedMeanMapped, &res.MergedFully, &res.MergedMAE},
+	} {
+		e, err := core.New(cfg.db, nil, core.Options{})
+		if err != nil {
+			return res, err
+		}
+		e.ObserveUnits(corpus.Phrases())
+		mapping, err := eval.PercentMapping(e, corpus)
+		if err != nil {
+			return res, err
+		}
+		*cfg.mapped = mapping.MeanMapped
+		*cfg.fully = mapping.FullyMapped
+		cal, err := eval.CalorieError(e, corpus, eval.CalorieConfig{
+			Seed: p.Seed, RequireFullMapping: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		*cfg.mae = cal.MeanAbsError
+	}
+	return res, nil
+}
+
+func (r FAOResult) String() string {
+	tb := report.NewTable("Configuration", "Match rate", "Mean mapped", "Fully mapped", "Calorie MAE")
+	tb.AddRow("US-centric primary (SR seed)", report.Pct(r.PrimaryRate),
+		report.Pct(r.PrimaryMeanMapped), fmt.Sprint(r.PrimaryFully), report.F2(r.PrimaryMAE))
+	tb.AddRow("+ FAO-style regional table", report.Pct(r.MergedRate),
+		report.Pct(r.MergedMeanMapped), fmt.Sprint(r.MergedFully), report.F2(r.MergedMAE))
+	recall := 0.0
+	if r.RegionalQueries > 0 {
+		recall = float64(r.RegionalCorrect) / float64(r.RegionalQueries)
+	}
+	return report.Section("EXTENSION — FAO REGIONAL-TABLE INCORPORATION (paper §III)") +
+		tb.String() +
+		fmt.Sprintf("\nRegional ingredient recall under the merged table: %d/%d (%s)\n",
+			r.RegionalCorrect, r.RegionalQueries, report.Pct(recall))
+}

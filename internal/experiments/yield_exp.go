@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/instructions"
+	"nutriprofile/internal/report"
+	"nutriprofile/internal/yield"
+)
+
+// YieldResult quantifies the paper's §I remark that "more accurate
+// results would be obtained if nutritional yield due to cooking is taken
+// into account": per-serving calorie error against the AS-COOKED gold,
+// with and without the Bognár-style yield correction (internal/yield),
+// the method being inferred from the recipe title.
+type YieldResult struct {
+	Recipes         int
+	UncorrectedMAE  float64 // raw-sum estimate vs cooked gold (kcal)
+	CorrectedMAE    float64 // yield-corrected estimate vs cooked gold
+	UncorrectedVitC float64 // same comparison for vitamin C (mg) — the
+	CorrectedVitC   float64 // heat-labile nutrient where yield dominates
+	InferredCorrect int     // titles whose method inference matched gold
+	MethodsInferred int
+}
+
+// YieldExperiment runs the pipeline over the corpus and scores both
+// variants against the as-cooked gold on fully-mapped recipes.
+func YieldExperiment(p Params) (YieldResult, error) {
+	p.fill()
+	corpus, err := Corpus(p)
+	if err != nil {
+		return YieldResult{}, err
+	}
+	e := core.NewDefault()
+	e.ObserveUnits(corpus.Phrases())
+
+	var res YieldResult
+	for i := range corpus.Recipes {
+		rec := &corpus.Recipes[i]
+		phrases := make([]string, len(rec.Ingredients))
+		for j := range rec.Ingredients {
+			phrases[j] = rec.Ingredients[j].Phrase
+		}
+		raw, err := e.EstimateRecipe(phrases, rec.Servings)
+		if err != nil {
+			return res, err
+		}
+		if raw.MappedFraction < 1 {
+			continue
+		}
+		// Prefer instruction-based inference (the cooking step almost
+		// always names the method); fall back to the title.
+		inferred := instructions.InferMethod(rec.Instructions)
+		if inferred == yield.None {
+			inferred = yield.InferFromTitle(rec.Title)
+		}
+		res.MethodsInferred++
+		if inferred == rec.Method {
+			res.InferredCorrect++
+		}
+		goldCooked := rec.GoldCookedPerServing()
+		res.Recipes++
+		corrected := yield.Apply(raw.PerServing, inferred)
+		res.UncorrectedMAE += math.Abs(raw.PerServing.EnergyKcal - goldCooked.EnergyKcal)
+		res.CorrectedMAE += math.Abs(corrected.EnergyKcal - goldCooked.EnergyKcal)
+		res.UncorrectedVitC += math.Abs(raw.PerServing.VitCMg - goldCooked.VitCMg)
+		res.CorrectedVitC += math.Abs(corrected.VitCMg - goldCooked.VitCMg)
+	}
+	if res.Recipes == 0 {
+		return res, fmt.Errorf("experiments: no fully mapped recipes for yield ablation")
+	}
+	n := float64(res.Recipes)
+	res.UncorrectedMAE /= n
+	res.CorrectedMAE /= n
+	res.UncorrectedVitC /= n
+	res.CorrectedVitC /= n
+	return res, nil
+}
+
+func (r YieldResult) String() string {
+	return report.Section("EXTENSION — COOKING-YIELD CORRECTION (paper §I, Bognár)") +
+		fmt.Sprintf("Recipes (100%% mapped): %d\n", r.Recipes) +
+		fmt.Sprintf("Method inferred from title: %d/%d correct\n", r.InferredCorrect, r.MethodsInferred) +
+		fmt.Sprintf("Energy MAE vs as-cooked gold, raw-sum estimate:         %.2f kcal/serving\n", r.UncorrectedMAE) +
+		fmt.Sprintf("Energy MAE vs as-cooked gold, yield-corrected estimate: %.2f kcal/serving (%s of error removed)\n",
+			r.CorrectedMAE, report.Pct(1-r.CorrectedMAE/math.Max(r.UncorrectedMAE, 1e-9))) +
+		fmt.Sprintf("Vitamin C MAE, raw-sum estimate:                        %.2f mg/serving\n", r.UncorrectedVitC) +
+		fmt.Sprintf("Vitamin C MAE, yield-corrected estimate:                %.2f mg/serving (%s of error removed)\n",
+			r.CorrectedVitC, report.Pct(1-r.CorrectedVitC/math.Max(r.UncorrectedVitC, 1e-9)))
+}

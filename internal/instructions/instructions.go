@@ -1,0 +1,125 @@
+// Package instructions models the cooking-instructions section of a
+// recipe. RecipeDB stores instructions alongside ingredients; the paper's
+// pipeline consumes only the ingredient section, but instructions carry
+// the cooking method — the signal the yield extension (internal/yield)
+// needs. This package renders templated instruction text from a recipe's
+// structure and infers the cooking method back out of free text.
+package instructions
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nutriprofile/internal/yield"
+)
+
+// methodVerbs maps each cooking method to the instruction verbs that
+// signal it, in decreasing specificity. Inference counts weighted hits.
+var methodVerbs = map[yield.Method][]string{
+	yield.Boiled:  {"boil", "simmer", "blanch", "parboil"},
+	yield.Steamed: {"steam"},
+	yield.Baked:   {"bake", "oven", "preheat"},
+	yield.Roasted: {"roast"},
+	yield.Fried:   {"fry", "saute", "sauté", "sear", "stir-fry", "skillet"},
+	yield.Grilled: {"grill", "barbecue", "broil"},
+	yield.Stewed:  {"stew", "braise", "slow-cook", "slow cooker"},
+}
+
+// prepTemplates render preparation steps from ingredient names.
+var prepTemplates = []string{
+	"Prepare the %s and set aside.",
+	"Measure out the %s.",
+	"Combine the %s in a large bowl.",
+	"Season the %s to taste.",
+}
+
+// cookTemplates render the method-bearing step.
+var cookTemplates = map[yield.Method][]string{
+	yield.None: {
+		"Toss everything together and serve chilled.",
+		"Arrange on a platter and serve immediately.",
+	},
+	yield.Boiled: {
+		"Bring a large pot of water to a boil and simmer for %d minutes.",
+		"Boil gently until tender, about %d minutes.",
+	},
+	yield.Steamed: {
+		"Steam in a covered basket for %d minutes.",
+		"Place in a steamer and steam until just done, %d minutes.",
+	},
+	yield.Baked: {
+		"Preheat the oven to 180C and bake for %d minutes.",
+		"Bake in the preheated oven until golden, about %d minutes.",
+	},
+	yield.Roasted: {
+		"Roast at 200C for %d minutes, turning once.",
+		"Roast until browned and fragrant, about %d minutes.",
+	},
+	yield.Fried: {
+		"Heat oil in a skillet and fry for %d minutes.",
+		"Stir-fry over high heat for %d minutes.",
+		"Saute until softened, about %d minutes.",
+	},
+	yield.Grilled: {
+		"Grill over medium-high heat for %d minutes per side.",
+		"Broil close to the heat for %d minutes.",
+	},
+	yield.Stewed: {
+		"Cover and stew on low heat for %d minutes.",
+		"Braise, covered, until fork-tender, about %d minutes.",
+	},
+}
+
+var finishTemplates = []string{
+	"Adjust seasoning and serve.",
+	"Garnish and serve warm.",
+	"Let rest for a few minutes before serving.",
+	"Serve with the remaining ingredients on the side.",
+}
+
+// Generate renders a deterministic instruction list for a recipe: one or
+// two preparation steps over the given ingredient names, one
+// method-bearing cooking step, and a finishing step.
+func Generate(ingredientNames []string, method yield.Method, rng *rand.Rand) []string {
+	var steps []string
+	if len(ingredientNames) > 0 {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n && i < len(ingredientNames); i++ {
+			tpl := prepTemplates[rng.Intn(len(prepTemplates))]
+			steps = append(steps, fmt.Sprintf(tpl, ingredientNames[rng.Intn(len(ingredientNames))]))
+		}
+	}
+	cooks := cookTemplates[method]
+	if len(cooks) == 0 {
+		cooks = cookTemplates[yield.None]
+	}
+	tpl := cooks[rng.Intn(len(cooks))]
+	if strings.Contains(tpl, "%d") {
+		steps = append(steps, fmt.Sprintf(tpl, 5+rng.Intn(40)))
+	} else {
+		steps = append(steps, tpl)
+	}
+	steps = append(steps, finishTemplates[rng.Intn(len(finishTemplates))])
+	return steps
+}
+
+// InferMethod scans instruction text for method-bearing verbs and returns
+// the method with the most hits; ties and no-hits return yield.None.
+// It is the instructions-based counterpart of yield.InferFromTitle and is
+// generally more reliable: recipe titles often omit the method, but the
+// cooking step almost never does.
+func InferMethod(steps []string) yield.Method {
+	text := strings.ToLower(strings.Join(steps, " "))
+	best, bestHits := yield.None, 0
+	for m := yield.Method(1); m < yield.NMethods; m++ {
+		hits := 0
+		for _, verb := range methodVerbs[m] {
+			hits += strings.Count(text, verb)
+		}
+		if hits > bestHits {
+			best, bestHits = m, hits
+		}
+	}
+	return best
+}

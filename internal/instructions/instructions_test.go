@@ -1,0 +1,84 @@
+package instructions
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nutriprofile/internal/yield"
+)
+
+func TestGenerateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	steps := Generate([]string{"onion", "garlic", "beef"}, yield.Fried, rng)
+	if len(steps) < 3 || len(steps) > 4 {
+		t.Fatalf("step count = %d, want 3-4: %v", len(steps), steps)
+	}
+	for _, s := range steps {
+		if s == "" || strings.Contains(s, "%") {
+			t.Errorf("malformed step %q", s)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate([]string{"milk"}, yield.Baked, rand.New(rand.NewSource(5)))
+	b := Generate([]string{"milk"}, yield.Baked, rand.New(rand.NewSource(5)))
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Error("instructions not deterministic for fixed seed")
+	}
+}
+
+func TestGenerateEmptyIngredients(t *testing.T) {
+	steps := Generate(nil, yield.Boiled, rand.New(rand.NewSource(2)))
+	if len(steps) < 2 {
+		t.Fatalf("want cooking+finish steps, got %v", steps)
+	}
+}
+
+// TestRoundTrip is the load-bearing property: the method rendered into
+// instructions must be recoverable by InferMethod.
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		m := yield.Method(raw % uint8(yield.NMethods))
+		rng := rand.New(rand.NewSource(seed))
+		steps := Generate([]string{"onion", "carrot"}, m, rng)
+		got := InferMethod(steps)
+		if m == yield.None {
+			return got == yield.None
+		}
+		return got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInferMethodFreeText(t *testing.T) {
+	cases := map[string]yield.Method{
+		"Preheat the oven to 350F. Bake until golden.":            yield.Baked,
+		"Bring to a boil, then simmer gently for 20 minutes.":     yield.Boiled,
+		"Grill the skewers 4 minutes per side.":                   yield.Grilled,
+		"Saute the onions, then stir-fry the vegetables briskly.": yield.Fried,
+		"Mix and chill. Serve cold.":                              yield.None,
+		"Braise in the covered pot for two hours.":                yield.Stewed,
+		"": yield.None,
+	}
+	for text, want := range cases {
+		if got := InferMethod([]string{text}); got != want {
+			t.Errorf("InferMethod(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestInferMethodCountsAllSteps(t *testing.T) {
+	steps := []string{
+		"Boil the pasta.",           // one boil hit
+		"Fry the bacon.",            // one fry hit
+		"Fry the onions in grease.", // second fry hit → fried wins
+	}
+	if got := InferMethod(steps); got != yield.Fried {
+		t.Errorf("InferMethod = %v, want fried", got)
+	}
+}

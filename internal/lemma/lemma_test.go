@@ -1,0 +1,203 @@
+package lemma
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNounRegular(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"apples", "apple"},
+		{"eggs", "egg"},
+		{"cups", "cup"},
+		{"teaspoons", "teaspoon"},
+		{"tablespoons", "tablespoon"},
+		{"onions", "onion"},
+		{"lentils", "lentil"},
+		{"beans", "bean"},
+		{"seeds", "seed"},
+		{"shakes", "shake"},
+		{"dishes", "dish"},
+		{"boxes", "box"},
+		{"spices", "spice"},
+		{"grams", "gram"},
+		{"ounces", "ounce"},
+		{"sticks", "stick"},
+		{"slices", "slice"},
+		{"pieces", "piece"},
+	}
+	for _, c := range cases {
+		if got := Word(c.in); got != c.want {
+			t.Errorf("Word(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNounIrregular(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tomatoes", "tomato"},
+		{"potatoes", "potato"},
+		{"leaves", "leaf"},
+		{"loaves", "loaf"},
+		{"halves", "half"},
+		{"cloves", "clove"},
+		{"knives", "knife"},
+		{"berries", "berry"},
+		{"cherries", "cherry"},
+		{"anchovies", "anchovy"},
+		{"pinches", "pinch"},
+		{"dashes", "dash"},
+		{"children", "child"},
+		{"feet", "foot"},
+	}
+	for _, c := range cases {
+		if got := Word(c.in); got != c.want {
+			t.Errorf("Word(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNounInvariants(t *testing.T) {
+	// Already-singular words ending in s must pass through unchanged —
+	// this is the "stemmers are too aggressive" point from §II-B(b).
+	for _, w := range []string{
+		"molasses", "hummus", "couscous", "asparagus", "swiss",
+		"boneless", "skinless", "glass", "bass", "anise",
+	} {
+		if got := Word(w); got != w {
+			t.Errorf("Word(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestNounAlreadySingular(t *testing.T) {
+	for _, w := range []string{"butter", "milk", "egg", "flour", "salt", "pepper", "cup"} {
+		if got := Word(w); got != w {
+			t.Errorf("Word(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestVerb(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"chopped", "chop"},
+		{"diced", "dice"},
+		{"minced", "mince"},
+		{"sliced", "slice"},
+		{"grated", "grate"},
+		{"whipped", "whip"},
+		{"shredded", "shred"},
+		{"ground", "grind"},
+		{"melted", "melt"},
+		{"softened", "soften"},
+		{"beaten", "beat"},
+		{"dried", "dry"},
+		{"frozen", "freeze"},
+		{"chopping", "chop"},
+		{"dicing", "dice"},
+		{"simmering", "simmer"},
+		{"boiled", "boil"},
+		{"toasted", "toast"},
+	}
+	for _, c := range cases {
+		if got := Lemmatize(c.in, Verb); got != c.want {
+			t.Errorf("Lemmatize(%q, Verb) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAdjective(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"larger", "large"},
+		{"largest", "large"},
+		{"smaller", "small"},
+		{"fresher", "fresh"},
+	}
+	for _, c := range cases {
+		if got := Lemmatize(c.in, Adjective); got != c.want {
+			t.Errorf("Lemmatize(%q, Adjective) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnitAliases(t *testing.T) {
+	// §II-C lemmatizes units before alias resolution; plural abbreviations
+	// must reduce to their singular.
+	cases := []struct{ in, want string }{
+		{"lbs", "lb"},
+		{"tsps", "tsp"},
+		{"tbsps", "tbsp"},
+		{"ozs", "oz"},
+		{"cups", "cup"},
+		{"cans", "can"},
+		{"packages", "package"},
+		{"pints", "pint"},
+		{"quarts", "quart"},
+		{"gallons", "gallon"},
+	}
+	for _, c := range cases {
+		if got := Word(c.in); got != c.want {
+			t.Errorf("Word(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPhrase(t *testing.T) {
+	in := []string{"apples", "raw", "skins"}
+	got := Phrase(in)
+	want := []string{"apple", "raw", "skin"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Phrase[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if in[0] != "apples" {
+		t.Error("Phrase mutated its input")
+	}
+}
+
+func TestEmptyAndShort(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "as"} {
+		if got := Word(w); got != w {
+			t.Errorf("Word(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Property: lemmatization is idempotent — Word(Word(x)) == Word(x).
+func TestIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Word(s)
+		return Word(once) == once
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// And on realistic vocabulary.
+	for _, w := range []string{"apples", "tomatoes", "berries", "dishes", "cups", "leaves"} {
+		once := Word(w)
+		if Word(once) != once {
+			t.Errorf("not idempotent on %q: %q → %q", w, once, Word(once))
+		}
+	}
+}
+
+// Property: a lemma is never longer than the input plus two runes (the
+// longest expansion is ife/man style replacements).
+func TestLemmaNeverGrowsMuch(t *testing.T) {
+	f := func(s string) bool {
+		return len(Word(s)) <= len(s)+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWord(b *testing.B) {
+	words := []string{"apples", "tomatoes", "tablespoons", "butter", "berries"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Word(words[i%len(words)])
+	}
+}

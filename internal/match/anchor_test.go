@@ -1,0 +1,124 @@
+package match
+
+import (
+	"strings"
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// Tests for the two implementation refinements documented in DESIGN.md:
+// name anchoring and the raw-provision-as-bonus reading of §II-B(g).
+
+func TestNameAnchoringBlocksStateDrift(t *testing.T) {
+	m := defaultMatcher(t)
+	// "zucchini, sliced" must never drift to "Ham, sliced" through the
+	// state word: the candidate shares no NAME word.
+	r := mustMatch(t, m, Query{Name: "zucchini", State: "sliced"})
+	if !strings.Contains(strings.ToLower(r.Desc), "zucchini") {
+		t.Errorf("zucchini+sliced → %q", r.Desc)
+	}
+	// "salmon fillets, skinless" must not land on "Apples, raw, without
+	// skin" through the negation expansion of "skinless".
+	r = mustMatch(t, m, Query{Name: "salmon fillets", State: "skinless"})
+	if !strings.Contains(strings.ToLower(r.Desc), "salmon") {
+		t.Errorf("skinless salmon → %q", r.Desc)
+	}
+}
+
+func TestNameAnchoringDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NameAnchoring = false
+	m := New(usda.Seed(), opts)
+	// Without anchoring the state word alone may create candidates; the
+	// call must still return something sensible and not panic.
+	if _, ok := m.Match(Query{Name: "zucchini", State: "sliced"}); !ok {
+		t.Error("no match with anchoring disabled")
+	}
+}
+
+func TestRawBonusDoesNotBeatHigherScore(t *testing.T) {
+	// The §II-B(g) provision is a tie-break, not a score: "tomato paste"
+	// scores 2/2 against the paste description and only 1/2 against
+	// "Tomatoes, green, raw", so the raw description must lose even
+	// though the query is stateless.
+	m := defaultMatcher(t)
+	r := mustMatch(t, m, Query{Name: "tomato paste"})
+	if r.Desc != "Tomato products, canned, paste, without salt added" {
+		t.Errorf("tomato paste → %q", r.Desc)
+	}
+}
+
+func TestRawBonusBreaksTrueTies(t *testing.T) {
+	// Bare "apple": the babyfood description scores the same 1.0 but has
+	// no "raw"; the provision must demote it below both raw apples.
+	m := defaultMatcher(t)
+	rs := m.Rank(Query{Name: "apple"}, 0)
+	babyRank, rawRank := -1, -1
+	for i, r := range rs {
+		if strings.HasPrefix(r.Desc, "Babyfood") && babyRank == -1 {
+			babyRank = i
+		}
+		if r.Desc == "Apples, raw, with skin" {
+			rawRank = i
+		}
+	}
+	if rawRank == -1 {
+		t.Fatal("Apples, raw, with skin not ranked")
+	}
+	if babyRank != -1 && babyRank < rawRank {
+		t.Errorf("babyfood (rank %d) above raw apples (rank %d)", babyRank, rawRank)
+	}
+}
+
+func TestRawProvisionDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RawProvision = false
+	m := New(usda.Seed(), opts)
+	for _, r := range m.Rank(Query{Name: "apple"}, 0) {
+		if r.RawBonus {
+			t.Fatalf("RawBonus set with provision disabled: %q", r.Desc)
+		}
+	}
+}
+
+func TestExpandedFamiliesStillResolve(t *testing.T) {
+	// The extended seed adds many near-duplicates; the canonical paper
+	// matches must survive them.
+	m := defaultMatcher(t)
+	cases := map[string]string{
+		"unsalted butter": "Butter, without salt",
+		"egg whites":      "Egg, white, raw, fresh",
+		"whole eggs":      "Egg, whole, raw, fresh",
+		"red lentils":     "Lentils, pink or red, raw",
+		"sesame seeds":    "Seeds, sesame seeds, whole, dried",
+	}
+	for name, want := range cases {
+		r := mustMatch(t, m, Query{Name: name})
+		if r.Desc != want {
+			t.Errorf("%q → %q, want %q", name, r.Desc, want)
+		}
+	}
+}
+
+func TestMatcherOnMergedRegionalDB(t *testing.T) {
+	m := NewDefault(usda.WithRegional())
+	cases := map[string]string{
+		"garam masala": "Spice blend, garam masala",
+		"paneer":       "Cheese, paneer, fresh",
+		"fish sauce":   "Fish sauce, fermented (nam pla)",
+		"ghee":         "Ghee, clarified butter",
+		"plantains":    "Plantains, green, raw",
+	}
+	for name, want := range cases {
+		r, ok := m.Match(Query{Name: name})
+		if !ok || r.Desc != want {
+			t.Errorf("%q → (%q, %v), want %q", name, r.Desc, ok, want)
+		}
+	}
+	// And the primary families must be unaffected by the merge.
+	r, _ := m.Match(Query{Name: "unsalted butter"})
+	if r.Desc != "Butter, without salt" {
+		t.Errorf("merge broke primary match: %q", r.Desc)
+	}
+}

@@ -1,0 +1,45 @@
+package match
+
+// ExactMatcher is the naive string-matching baseline the paper's
+// introduction positions itself against ("Previous studies have testified
+// the efficiency of string-matching methods on small datasets"): an
+// ingredient matches a description only if EVERY preprocessed ingredient
+// word appears in the description (full containment), ties broken by
+// shorter description then database order. It has no modified-Jaccard
+// partial credit, no raw provision, no priority resolution — on a large
+// noisy corpus its coverage collapses, which is the gap the paper's
+// §II-B heuristics close. Included for the baseline comparison bench.
+type ExactMatcher struct {
+	m *Matcher
+}
+
+// NewExact wraps a prepared Matcher's preprocessed index with
+// containment-only semantics.
+func NewExact(m *Matcher) *ExactMatcher { return &ExactMatcher{m: m} }
+
+// Match returns the first (shortest-description) food containing every
+// query word, or ok=false.
+func (e *ExactMatcher) Match(q Query) (Result, bool) {
+	anchor, scored, _ := e.m.querySet(q)
+	if anchor.Len() == 0 {
+		return Result{}, false
+	}
+	bestIdx, bestLen := -1, 1<<31-1
+	for i := range e.m.docs {
+		doc := &e.m.docs[i]
+		if scored.IntersectLen(doc.set) != scored.Len() {
+			continue // not full containment
+		}
+		if doc.set.Len() < bestLen {
+			bestIdx, bestLen = i, doc.set.Len()
+		}
+	}
+	if bestIdx < 0 {
+		return Result{}, false
+	}
+	food := e.m.db.At(bestIdx)
+	return Result{
+		NDB: food.NDB, Desc: food.Desc, Score: 1.0,
+		Matched: scored.Sorted(), index: bestIdx,
+	}, true
+}

@@ -1,0 +1,76 @@
+package match
+
+import (
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+func TestExactMatcherContainment(t *testing.T) {
+	em := NewExact(defaultMatcher(t))
+	// A query whose words all appear in a description matches…
+	if r, ok := em.Match(Query{Name: "butter salted"}); !ok || r.Desc != "Butter, salted" {
+		t.Errorf("butter salted → (%q,%v)", r.Desc, ok)
+	}
+	// …but one extra unmatched word kills it (no partial credit).
+	if r, ok := em.Match(Query{Name: "salted butter sticks"}); ok {
+		t.Errorf("containment baseline matched %q despite extra word", r.Desc)
+	}
+}
+
+func TestExactMatcherPrefersShorterDescription(t *testing.T) {
+	em := NewExact(defaultMatcher(t))
+	r, ok := em.Match(Query{Name: "butter"})
+	if !ok {
+		t.Fatal("bare butter unmatched")
+	}
+	// "Butter, salted" (2 words) must beat longer butter descriptions.
+	if r.Desc != "Butter, salted" {
+		t.Errorf("butter → %q", r.Desc)
+	}
+}
+
+func TestExactBaselineCoverageCollapses(t *testing.T) {
+	// The gap the paper's heuristics close: on realistic noisy names the
+	// containment baseline matches far less than the modified-Jaccard
+	// matcher.
+	m := defaultMatcher(t)
+	em := NewExact(m)
+	queries := []Query{
+		{Name: "red lentils"},                     // desc says "pink or red"
+		{Name: "skim milk"},                       // desc is the long nonfat variant
+		{Name: "boneless chicken breast"},         // desc lacks "boneless"
+		{Name: "all-purpose flour"},               // desc spells it differently
+		{Name: "cayenne pepper", State: "ground"}, // desc says "red or cayenne"
+		{Name: "unsalted butter"},
+		{Name: "butter"},
+		{Name: "egg whites"},
+	}
+	full, exact := 0, 0
+	for _, q := range queries {
+		if _, ok := m.Match(q); ok {
+			full++
+		}
+		if _, ok := em.Match(q); ok {
+			exact++
+		}
+	}
+	if full != len(queries) {
+		t.Fatalf("modified matcher covered %d/%d", full, len(queries))
+	}
+	if exact >= full {
+		t.Errorf("containment baseline covered %d/%d — no gap to close?", exact, full)
+	}
+	t.Logf("coverage: modified %d/%d, containment baseline %d/%d",
+		full, len(queries), exact, len(queries))
+}
+
+func BenchmarkExactMatcher(b *testing.B) {
+	em := NewExact(NewDefault(usda.Seed()))
+	q := Query{Name: "butter salted"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.Match(q)
+	}
+}

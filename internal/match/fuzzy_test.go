@@ -1,0 +1,110 @@
+package match
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWithinDL1(t *testing.T) {
+	yes := [][2]string{
+		{"butter", "butter"},  // identical
+		{"buttre", "butter"},  // transposition
+		{"buter", "butter"},   // deletion
+		{"buttter", "butter"}, // insertion
+		{"bitter", "butter"},  // substitution
+		{"oinon", "onion"},    // transposition
+	}
+	for _, p := range yes {
+		if !withinDL1(p[0], p[1]) {
+			t.Errorf("withinDL1(%q,%q) = false, want true", p[0], p[1])
+		}
+		if !withinDL1(p[1], p[0]) {
+			t.Errorf("withinDL1(%q,%q) not symmetric", p[1], p[0])
+		}
+	}
+	noPairs := [][2]string{
+		{"butter", "bread"},
+		{"milk", "silk y"},
+		{"ab", "ba2x"},
+		{"butter", "bu"},
+		{"tomato", "potato"}, // two substitutions
+	}
+	for _, p := range noPairs {
+		if withinDL1(p[0], p[1]) {
+			t.Errorf("withinDL1(%q,%q) = true, want false", p[0], p[1])
+		}
+	}
+}
+
+func TestCorrectQuery(t *testing.T) {
+	m := defaultMatcher(t)
+	fixed, changed := m.CorrectQuery(Query{Name: "buttre"})
+	if !changed || fixed.Name != "butter" {
+		t.Errorf("CorrectQuery(buttre) = (%q,%v)", fixed.Name, changed)
+	}
+	// In-vocabulary queries pass through untouched.
+	same, changed := m.CorrectQuery(Query{Name: "butter"})
+	if changed || same.Name != "butter" {
+		t.Errorf("CorrectQuery(butter) = (%q,%v)", same.Name, changed)
+	}
+	// Nonsense stays nonsense.
+	if _, changed := m.CorrectQuery(Query{Name: "zzqqzz"}); changed {
+		t.Error("CorrectQuery invented a correction for nonsense")
+	}
+	// Short words are never corrected.
+	if _, changed := m.CorrectQuery(Query{Name: "mlk"}); changed {
+		t.Error("short word corrected; below the length guard")
+	}
+}
+
+func TestMatchFuzzy(t *testing.T) {
+	m := defaultMatcher(t)
+	cases := map[string]string{
+		"buttre":          "Butter", // transposed
+		"oinon":           "Onions", // transposed
+		"granulated sugr": "Sugars", // deletion in second word
+	}
+	for typo, wantPrefix := range cases {
+		r, ok := m.MatchFuzzy(Query{Name: typo})
+		if !ok {
+			t.Errorf("MatchFuzzy(%q) found nothing", typo)
+			continue
+		}
+		if !strings.HasPrefix(r.Desc, wantPrefix) {
+			t.Errorf("MatchFuzzy(%q) → %q, want prefix %q", typo, r.Desc, wantPrefix)
+		}
+	}
+	// Fuzzy must not fire when the exact match already succeeds.
+	exact, _ := m.Match(Query{Name: "butter"})
+	fuzzy, _ := m.MatchFuzzy(Query{Name: "butter"})
+	if exact.NDB != fuzzy.NDB {
+		t.Error("MatchFuzzy diverged from Match on a clean query")
+	}
+}
+
+// Property: withinDL1 is symmetric and reflexive over short ASCII strings.
+func TestWithinDL1Properties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 12 || len(b) > 12 {
+			return true
+		}
+		if withinDL1(a, b) != withinDL1(b, a) {
+			return false
+		}
+		return withinDL1(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCorrectQuery(b *testing.B) {
+	m := defaultMatcher(b)
+	q := Query{Name: "granulated sugr"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CorrectQuery(q)
+	}
+}

@@ -1,0 +1,246 @@
+package match
+
+import (
+	"sort"
+
+	"nutriprofile/internal/textutil"
+	"nutriprofile/internal/usda"
+)
+
+// Metric selects the string-similarity index. The paper's contribution is
+// the Modified Jaccard Index; the vanilla index is retained as the
+// baseline Table III compares against.
+type Metric int
+
+const (
+	// ModifiedJaccard is J*(A,B) = |A∩B| / |A| (§II-B(e)): only the
+	// ingredient-phrase words need covering, removing the bias against
+	// long, detailed food descriptions.
+	ModifiedJaccard Metric = iota
+	// VanillaJaccard is J(A,B) = |A∩B| / |A∪B|.
+	VanillaJaccard
+)
+
+func (m Metric) String() string {
+	if m == VanillaJaccard {
+		return "vanilla-jaccard"
+	}
+	return "modified-jaccard"
+}
+
+// Options toggles the individual §II-B heuristics, primarily so the
+// ablation benchmarks can measure each one's contribution. DefaultOptions
+// enables everything, which is the paper's configuration.
+type Options struct {
+	Metric Metric
+	// RawProvision implements §II-B(g): when the query carries no STATE
+	// entity, a description containing the word "raw" gets "an
+	// additional word" matched — realized as a tie-break bonus above
+	// priority resolution, so "apple" prefers "Apples, raw, with skin"
+	// over equal-scoring descriptions without "raw". The bonus never
+	// changes the Jaccard score itself, so it cannot displace a
+	// strictly better match (e.g. "tomato paste" still beats
+	// "Tomatoes, green, raw").
+	RawProvision bool
+	// PriorityResolution breaks score ties by preferring matches whose
+	// words occur in earlier comma-separated description terms (§II-B(h)).
+	PriorityResolution bool
+	// NameAnchoring requires every candidate description to share at
+	// least one word with the NAME entity itself (not merely with the
+	// STATE/TEMP/DF words folded in by §II-B(d)). This operationalizes
+	// §II-B(a)'s observation that the head food term is what carries the
+	// match: without it, "zucchini, sliced" drifts to "Ham, sliced"
+	// through the state word alone.
+	NameAnchoring bool
+	// MinScore is the score below which a query is reported unmatched.
+	// The paper treats any nonzero overlap as a (possibly poor) match.
+	MinScore float64
+}
+
+// DefaultOptions is the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Metric:             ModifiedJaccard,
+		RawProvision:       true,
+		PriorityResolution: true,
+		NameAnchoring:      true,
+		MinScore:           1e-9,
+	}
+}
+
+// Query is one ingredient to match. Name is the NER NAME entity; State,
+// Temp and DryFresh are the additional entities §II-B(d) folds into the
+// comparison ("we match the whole description along with the State,
+// Temperature and Freshness entities derived from our NER pipeline").
+type Query struct {
+	Name     string
+	State    string
+	Temp     string
+	DryFresh string
+}
+
+// Result is one candidate description with its score.
+type Result struct {
+	NDB      int
+	Desc     string
+	Score    float64
+	Priority int // sum of matched words' term priorities; lower is better
+	// RawBonus marks the §II-B(g) provision: the description contains
+	// "raw" and the query had no STATE entity.
+	RawBonus bool
+	Matched  []string
+	index    int // position in db order, the §II-B(i) tie-break key
+}
+
+// Matcher matches ingredient queries against a fixed database. It is
+// immutable after construction and safe for concurrent use.
+type Matcher struct {
+	db   *usda.DB
+	opts Options
+	docs []descDoc
+	// inverted maps each description word to the (ascending) indices of
+	// foods containing it, restricting scoring to plausible candidates.
+	inverted map[string][]int32
+}
+
+// New preprocesses every description in db and builds the inverted index.
+func New(db *usda.DB, opts Options) *Matcher {
+	m := &Matcher{
+		db:       db,
+		opts:     opts,
+		docs:     make([]descDoc, db.Len()),
+		inverted: make(map[string][]int32),
+	}
+	for i := 0; i < db.Len(); i++ {
+		doc := normalizeDesc(db.At(i).Desc)
+		m.docs[i] = doc
+		for w := range doc.set {
+			m.inverted[w] = append(m.inverted[w], int32(i))
+		}
+	}
+	return m
+}
+
+// NewDefault builds a Matcher with the paper's configuration.
+func NewDefault(db *usda.DB) *Matcher { return New(db, DefaultOptions()) }
+
+// Options returns the matcher's configuration.
+func (m *Matcher) Options() Options { return m.opts }
+
+// querySet builds the preprocessed ingredient word set A of §II-B(e).
+// anchor is the set candidate gathering and the must-overlap requirement
+// run against: the NAME words alone under NameAnchoring, otherwise all
+// query words. rawEligible reports whether the §II-B(g) provision applies
+// (no STATE entity and "raw" not already a query word).
+func (m *Matcher) querySet(q Query) (anchor, scored textutil.Set, rawEligible bool) {
+	nameTokens := NormalizeTokens(q.Name)
+	tokens := nameTokens
+	for _, extra := range []string{q.State, q.Temp, q.DryFresh} {
+		if extra != "" {
+			tokens = append(tokens, NormalizeTokens(extra)...)
+		}
+	}
+	scored = textutil.NewSet(tokens)
+	anchor = scored
+	if m.opts.NameAnchoring {
+		anchor = textutil.NewSet(nameTokens)
+	}
+	rawEligible = m.opts.RawProvision && q.State == "" && !scored.Has("raw")
+	return anchor, scored, rawEligible
+}
+
+// Match returns the best description for the query, or ok=false when no
+// description shares a word with it (the unmatched ~5.5% of §III).
+func (m *Matcher) Match(q Query) (Result, bool) {
+	res := m.Rank(q, 1)
+	if len(res) == 0 {
+		return Result{}, false
+	}
+	return res[0], true
+}
+
+// Rank returns the top-k candidates in preference order: score descending,
+// then priority ascending (if enabled), then database order (§II-B(i)).
+// k ≤ 0 returns every candidate with Score ≥ MinScore.
+func (m *Matcher) Rank(q Query, k int) []Result {
+	anchor, qset, rawEligible := m.querySet(q)
+	if anchor.Len() == 0 {
+		return nil
+	}
+
+	// Gather candidates through the inverted index, from anchor words
+	// only: under NameAnchoring, STATE/TEMP/DF words may strengthen a
+	// match but never create one.
+	candSet := map[int32]struct{}{}
+	for w := range anchor {
+		for _, i := range m.inverted[w] {
+			candSet[i] = struct{}{}
+		}
+	}
+	if len(candSet) == 0 {
+		return nil
+	}
+
+	results := make([]Result, 0, len(candSet))
+	for i := range candSet {
+		doc := &m.docs[i]
+		if anchor.IntersectLen(doc.set) == 0 {
+			continue
+		}
+		inter := qset.IntersectLen(doc.set)
+		var score float64
+		switch m.opts.Metric {
+		case VanillaJaccard:
+			score = float64(inter) / float64(qset.UnionLen(doc.set))
+		default:
+			score = float64(inter) / float64(qset.Len())
+		}
+		if score < m.opts.MinScore {
+			continue
+		}
+		matched := make([]string, 0, inter)
+		priority := 0
+		for w := range qset {
+			if doc.set.Has(w) {
+				matched = append(matched, w)
+				priority += doc.priority[w]
+			}
+		}
+		sort.Strings(matched)
+		food := m.db.At(int(i))
+		results = append(results, Result{
+			NDB: food.NDB, Desc: food.Desc, Score: score,
+			Priority: priority, RawBonus: rawEligible && doc.hasRaw,
+			Matched: matched, index: int(i),
+		})
+	}
+	if len(results) == 0 {
+		return nil
+	}
+
+	sort.Slice(results, func(a, b int) bool {
+		ra, rb := &results[a], &results[b]
+		if ra.Score != rb.Score {
+			return ra.Score > rb.Score
+		}
+		if ra.RawBonus != rb.RawBonus {
+			return ra.RawBonus // §II-B(g): the free "raw" word wins ties
+		}
+		if m.opts.PriorityResolution && ra.Priority != rb.Priority {
+			return ra.Priority < rb.Priority
+		}
+		return ra.index < rb.index // §II-B(i): first match in SR order
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// MatchName is shorthand for matching a bare ingredient name.
+func (m *Matcher) MatchName(name string) (Result, bool) {
+	return m.Match(Query{Name: name})
+}
+
+// DB returns the underlying database.
+func (m *Matcher) DB() *usda.DB { return m.db }

@@ -1,0 +1,142 @@
+package match
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// Metamorphic properties: transformations of queries and databases with
+// predictable effects on match results.
+
+func TestQueryWordOrderIrrelevant(t *testing.T) {
+	// Jaccard is set-based: permuting query words cannot change the
+	// result.
+	m := defaultMatcher(t)
+	pairs := [][2]string{
+		{"red lentils", "lentils red"},
+		{"unsalted butter", "butter unsalted"},
+		{"low fat sour cream", "sour cream low fat"},
+		{"whole eggs", "eggs whole"},
+	}
+	for _, p := range pairs {
+		a, okA := m.Match(Query{Name: p[0]})
+		b, okB := m.Match(Query{Name: p[1]})
+		if okA != okB || (okA && a.NDB != b.NDB) {
+			t.Errorf("order sensitivity: %q → %v/%d, %q → %v/%d",
+				p[0], okA, a.NDB, p[1], okB, b.NDB)
+		}
+	}
+}
+
+func TestDuplicateQueryWordsIrrelevant(t *testing.T) {
+	m := defaultMatcher(t)
+	for _, name := range []string{"butter", "red lentils", "skim milk"} {
+		a, _ := m.Match(Query{Name: name})
+		b, _ := m.Match(Query{Name: name + " " + name})
+		if a.NDB != b.NDB {
+			t.Errorf("duplication changed match for %q: %d vs %d", name, a.NDB, b.NDB)
+		}
+	}
+}
+
+func TestStopWordsIrrelevant(t *testing.T) {
+	m := defaultMatcher(t)
+	pairs := [][2]string{
+		{"butter", "the butter"},
+		{"red lentils", "some red lentils"},
+		{"cheddar cheese", "a cheddar cheese"},
+	}
+	for _, p := range pairs {
+		a, _ := m.Match(Query{Name: p[0]})
+		b, _ := m.Match(Query{Name: p[1]})
+		if a.NDB != b.NDB {
+			t.Errorf("stop word changed match: %q → %d, %q → %d",
+				p[0], a.NDB, p[1], b.NDB)
+		}
+	}
+}
+
+func TestAddingIrrelevantFoodCannotStealMatch(t *testing.T) {
+	// Growing the database with foods sharing no words with the query
+	// must not change the query's result.
+	base := usda.Seed()
+	mBase := NewDefault(base)
+	queries := []Query{
+		{Name: "unsalted butter"}, {Name: "red lentils"}, {Name: "skim milk"},
+	}
+	before := make([]Result, len(queries))
+	for i, q := range queries {
+		before[i], _ = mBase.Match(q)
+	}
+
+	extra := append([]usda.Food(nil), base.Foods()...)
+	extra = append(extra, usda.Food{
+		NDB: 99901, Desc: "Zzqxx, synthetic, irrelevant",
+	})
+	grown := usda.MustNewDB(extra)
+	mGrown := NewDefault(grown)
+	for i, q := range queries {
+		after, _ := mGrown.Match(q)
+		if after.NDB != before[i].NDB {
+			t.Errorf("irrelevant food changed match for %+v: %d → %d",
+				q, before[i].NDB, after.NDB)
+		}
+	}
+}
+
+func TestPluralizationIrrelevant(t *testing.T) {
+	// §II-B(b): lemmatization unifies singular and plural forms.
+	m := defaultMatcher(t)
+	pairs := [][2]string{
+		{"egg", "eggs"},
+		{"tomato", "tomatoes"},
+		{"carrot", "carrots"},
+		{"onion", "onions"},
+	}
+	for _, p := range pairs {
+		a, okA := m.Match(Query{Name: p[0]})
+		b, okB := m.Match(Query{Name: p[1]})
+		if okA != okB || a.NDB != b.NDB {
+			t.Errorf("plural sensitivity: %q → %d, %q → %d", p[0], a.NDB, p[1], b.NDB)
+		}
+	}
+}
+
+func TestConcurrentMatching(t *testing.T) {
+	// The matcher documents safety for concurrent use; hammer it from
+	// many goroutines (run under -race in CI).
+	m := defaultMatcher(t)
+	queries := []Query{
+		{Name: "butter"}, {Name: "skim milk"}, {Name: "red lentils"},
+		{Name: "egg whites"}, {Name: "all-purpose flour"},
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		r, _ := m.Match(q)
+		want[i] = r.NDB
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				i := iter % len(queries)
+				r, ok := m.Match(queries[i])
+				if !ok || r.NDB != want[i] {
+					errCh <- r.Desc
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if bad, open := <-errCh; open {
+		t.Fatalf("concurrent match diverged: %s", strings.TrimSpace(bad))
+	}
+}

@@ -1,0 +1,133 @@
+// Package match implements the paper's Closest Description Annotation
+// (§II-B): mapping an ingredient name extracted by NER to the best food
+// description in a USDA-SR style database using a Modified Jaccard Index
+// over preprocessed word sets, with negation rewriting, a raw-state
+// provision, sequence-priority collision resolution and first-match
+// tie-breaking.
+package match
+
+import (
+	"strings"
+
+	"nutriprofile/internal/lemma"
+	"nutriprofile/internal/stopwords"
+	"nutriprofile/internal/textutil"
+)
+
+// negativePrefixWords whitelists the "un-"/"non-" words whose prefix is a
+// true negation (§II-B(f): `we replaced all negation terms and prefixes
+// (like "un" in unsalted) to "not"`). A whitelist avoids corrupting words
+// like "union" or "uniform" where "un" is not a prefix.
+var negativePrefixWords = map[string]string{
+	"unsalted":        "salt",
+	"unsweetened":     "sweeten",
+	"uncooked":        "cook",
+	"unbleached":      "bleach",
+	"unenriched":      "enrich",
+	"unseasoned":      "season",
+	"unpeeled":        "peel",
+	"unflavored":      "flavor",
+	"unprepared":      "prepare",
+	"unbaked":         "bake",
+	"undiluted":       "dilute",
+	"unheated":        "heat",
+	"unsifted":        "sift",
+	"unblanched":      "blanch",
+	"uncured":         "cure",
+	"undrained":       "drain",
+	"unripe":          "ripe",
+	"nonfat":          "fat",
+	"nondairy":        "dairy",
+	"nonhydrogenated": "hydrogenate",
+}
+
+// expandNegations rewrites one token into its negation-normalized form.
+// It returns either the token itself (1 element) or ["not", base].
+func expandNegations(tok string) []string {
+	if stopwords.IsNegation(tok) {
+		return []string{"not"}
+	}
+	if base, ok := negativePrefixWords[tok]; ok {
+		return []string{"not", base}
+	}
+	// "X-free" and "Xless" suffixes negate X: fat-free → not fat,
+	// boneless → not bone. Tokenize keeps hyphenated words whole, so the
+	// forms arrive as single tokens.
+	if rest, ok := strings.CutSuffix(tok, "-free"); ok && len(rest) >= 3 {
+		return []string{"not", lemma.Word(rest)}
+	}
+	if rest, ok := strings.CutSuffix(tok, "less"); ok && len(rest) >= 4 {
+		return []string{"not", lemma.Word(rest)}
+	}
+	return []string{tok}
+}
+
+// normalizeWord lemmatizes a token for set comparison. Nouns dominate
+// description vocabulary, so the noun lemma is tried first; words that the
+// noun lemmatizer leaves untouched but that carry verbal inflection
+// (cooking states like "salted", "chopped") fall through to the verb
+// lemmatizer so both sides of pairs like "salted"/"salt" unify.
+func normalizeWord(tok string) string {
+	n := lemma.Word(tok)
+	if n != tok {
+		return n
+	}
+	if strings.HasSuffix(tok, "ed") || strings.HasSuffix(tok, "ing") {
+		return lemma.Lemmatize(tok, lemma.Verb)
+	}
+	return tok
+}
+
+// NormalizeTokens runs the full §II-B preprocessing over a raw phrase:
+// uniform casing (Tokenize lower-cases), negation expansion, stop-word
+// removal and lemmatization. The same function is applied to ingredient
+// phrases and to food descriptions so the two sides stay comparable.
+func NormalizeTokens(s string) []string {
+	var out []string
+	for _, tok := range textutil.Words(s) {
+		for _, piece := range expandNegations(tok) {
+			if piece == "not" {
+				out = append(out, "not")
+				continue
+			}
+			if stopwords.IsStop(piece) {
+				continue
+			}
+			if n := normalizeWord(piece); n != "" {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// descDoc is a preprocessed food description: its word set plus, for each
+// word, the 1-based index of the FIRST comma-separated term the word
+// appears in — the sequence priority of §II-B(h). hasRaw records whether
+// the literal state word "raw" occurs anywhere in the description (for
+// the §II-B(g) provision).
+type descDoc struct {
+	set      textutil.Set
+	priority map[string]int
+	hasRaw   bool
+}
+
+// normalizeDesc preprocesses one comma-separated food description.
+func normalizeDesc(desc string) descDoc {
+	doc := descDoc{
+		set:      textutil.Set{},
+		priority: map[string]int{},
+	}
+	for termIdx, term := range textutil.SplitCommaTerms(desc) {
+		for _, w := range NormalizeTokens(term) {
+			doc.set.Add(w)
+			if _, seen := doc.priority[w]; !seen {
+				doc.priority[w] = termIdx + 1
+			}
+			if w == "raw" {
+				doc.hasRaw = true
+			}
+		}
+	}
+	return doc
+}

@@ -1,0 +1,136 @@
+package ner
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCRFLearnsCorpus(t *testing.T) {
+	train := goldCorpus(500, 21)
+	test := goldCorpus(200, 22)
+	model, err := TrainCRF(train, CRFConfig{Epochs: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, ex := range test {
+		pred := model.Tag(ex.Tokens)
+		for i := range ex.Labels {
+			total++
+			if pred[i] == ex.Labels[i] {
+				correct++
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.97 {
+		t.Errorf("CRF token accuracy %.3f, want ≥0.97", acc)
+	}
+}
+
+func TestCRFComparableToPerceptron(t *testing.T) {
+	train := goldCorpus(400, 31)
+	test := goldCorpus(150, 32)
+	crf, err := TrainCRF(train, CRFConfig{Epochs: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perc, err := Train(train, TrainConfig{Epochs: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(m *Model) float64 {
+		correct, total := 0, 0
+		for _, ex := range test {
+			pred := m.Tag(ex.Tokens)
+			for i := range ex.Labels {
+				total++
+				if pred[i] == ex.Labels[i] {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	c, p := score(crf), score(perc)
+	t.Logf("CRF accuracy %.4f, perceptron %.4f", c, p)
+	// Same model class, same features: they must land in the same regime.
+	if math.Abs(c-p) > 0.05 {
+		t.Errorf("CRF (%.3f) and perceptron (%.3f) diverge beyond 5 points", c, p)
+	}
+}
+
+func TestCRFValidation(t *testing.T) {
+	if _, err := TrainCRF(nil, CRFConfig{}); err == nil {
+		t.Error("TrainCRF(nil) succeeded")
+	}
+	bad := []Example{{Tokens: []string{"a"}, Labels: []Label{Name, Name}}}
+	if _, err := TrainCRF(bad, CRFConfig{}); err == nil {
+		t.Error("TrainCRF arity mismatch succeeded")
+	}
+}
+
+func TestCRFDeterministic(t *testing.T) {
+	corpus := goldCorpus(150, 41)
+	a, err1 := TrainCRF(corpus, CRFConfig{Epochs: 2, Seed: 5})
+	b, err2 := TrainCRF(corpus, CRFConfig{Epochs: 2, Seed: 5})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	probe := tokenize("2 cups fresh milk , finely chopped")
+	pa, pb := a.Tag(probe), b.Tag(probe)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("CRF training not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestCRFSerializes(t *testing.T) {
+	// The CRF returns a *Model, so Save/Load must work unchanged.
+	model, err := TrainCRF(goldCorpus(100, 51), CRFConfig{Epochs: 2, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink countingWriter
+	if err := model.Save(&sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.n == 0 {
+		t.Error("Save wrote nothing")
+	}
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func TestLogSumExp(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{0, 0}, math.Log(2)},
+		{[]float64{1000, 1000}, 1000 + math.Log(2)},
+		{[]float64{math.Inf(-1), 0}, 0},
+		{[]float64{math.Inf(-1), math.Inf(-1)}, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		if got := logSumExp(c.in); math.Abs(got-c.want) > 1e-9 && !(math.IsInf(got, -1) && math.IsInf(c.want, -1)) {
+			t.Errorf("logSumExp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func BenchmarkTrainCRF(b *testing.B) {
+	corpus := goldCorpus(150, 61)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainCRF(corpus, CRFConfig{Epochs: 2, Seed: 61}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

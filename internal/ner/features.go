@@ -1,0 +1,99 @@
+package ner
+
+import (
+	"strconv"
+
+	"nutriprofile/internal/textutil"
+)
+
+// tokenize is the package-local tokenizer; identical to textutil.Tokenize
+// and aliased so the feature code reads locally.
+func tokenize(phrase string) []string { return textutil.Tokenize(phrase) }
+
+// featurize emits the feature strings for position i of tokens. The
+// templates mirror a standard CRF NER configuration: word identity in a
+// ±2 window, bigram conjunctions, affixes, word shape, and gazetteer
+// (lexicon) membership flags. Transition structure is handled separately
+// by the decoder's transition weights.
+func featurize(tokens []string, i int) []string {
+	at := func(j int) string {
+		switch {
+		case j < 0:
+			return "<s>"
+		case j >= len(tokens):
+			return "</s>"
+		default:
+			return tokens[j]
+		}
+	}
+	w := tokens[i]
+	feats := make([]string, 0, 24)
+	add := func(f string) { feats = append(feats, f) }
+
+	add("w0=" + w)
+	add("w-1=" + at(i-1))
+	add("w+1=" + at(i+1))
+	add("w-2=" + at(i-2))
+	add("w+2=" + at(i+2))
+	add("w-1,0=" + at(i-1) + "|" + w)
+	add("w0,+1=" + w + "|" + at(i+1))
+
+	if n := len(w); n > 2 {
+		add("suf2=" + w[n-2:])
+		if n > 3 {
+			add("suf3=" + w[n-3:])
+		}
+		add("pre2=" + w[:2])
+		if n > 3 {
+			add("pre3=" + w[:3])
+		}
+	}
+
+	add("shape=" + wordShape(w))
+	add("pos=" + strconv.Itoa(min(i, 6)))
+	if i == 0 {
+		add("first")
+	}
+	if i == len(tokens)-1 {
+		add("last")
+	}
+
+	if isQuantityToken(w) {
+		add("lex:qty")
+	}
+	if isUnitToken(w) {
+		add("lex:unit")
+	}
+	if sizeWords[w] {
+		add("lex:size")
+	}
+	if tempWords[w] {
+		add("lex:temp")
+	}
+	if dfWords[w] {
+		add("lex:df")
+	}
+	if stateWords[w] {
+		add("lex:state")
+	}
+	if fillerWords[w] {
+		add("lex:filler")
+	}
+	if isQuantityToken(at(i - 1)) {
+		add("prev:qty")
+	}
+	if isUnitToken(at(i - 1)) {
+		add("prev:unit")
+	}
+	if at(i-1) == "," {
+		add("prev:comma")
+	}
+	return feats
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+// Package ner implements the paper's Ingredient Data Mining stage
+// (§II-A): a Named Entity Recognition system that tags each token of an
+// ingredient phrase with one of NAME, STATE, UNIT, QUANTITY, TEMP, DF
+// (dry/fresh) or SIZE — the tag inventory of the paper's Table I.
+//
+// The paper trains the Stanford NER model (a CRF). This package
+// substitutes a linear-chain tagger of the same model class: hand-rolled
+// feature templates over word identity/shape/lexicon membership, Viterbi
+// decoding, and averaged structured-perceptron training. A deterministic
+// rule-based tagger is provided both as the baseline for ablation and as
+// the bootstrap annotator.
+package ner
+
+import "fmt"
+
+// Label is a token-level entity tag.
+type Label uint8
+
+// The tag inventory of §II-A / Table I. Out is "no entity" (punctuation
+// and filler words).
+const (
+	Out Label = iota
+	Name
+	State
+	Unit
+	Quantity
+	Temp
+	DF
+	Size
+	NLabels
+)
+
+var labelNames = [NLabels]string{
+	"O", "NAME", "STATE", "UNIT", "QUANTITY", "TEMP", "DF", "SIZE",
+}
+
+// String returns the conventional tag spelling.
+func (l Label) String() string {
+	if l < NLabels {
+		return labelNames[l]
+	}
+	return fmt.Sprintf("Label(%d)", uint8(l))
+}
+
+// ParseLabel converts a tag name back to a Label.
+func ParseLabel(s string) (Label, error) {
+	for i, n := range labelNames {
+		if n == s {
+			return Label(i), nil
+		}
+	}
+	return Out, fmt.Errorf("ner: unknown label %q", s)
+}
+
+// Example is one gold-labeled ingredient phrase.
+type Example struct {
+	Tokens []string
+	Labels []Label
+}
+
+// Validate checks the token/label arity and label range.
+func (e Example) Validate() error {
+	if len(e.Tokens) != len(e.Labels) {
+		return fmt.Errorf("ner: %d tokens but %d labels", len(e.Tokens), len(e.Labels))
+	}
+	for i, l := range e.Labels {
+		if l >= NLabels {
+			return fmt.Errorf("ner: label %d out of range at %d", l, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package ner
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Model is a linear-chain sequence tagger: per-feature emission weights
+// and label-to-label transition weights, decoded with Viterbi. Training
+// uses the averaged structured perceptron (Collins 2002), a discriminative
+// trainer in the same model family as the CRF the paper uses, with the
+// same feature expressiveness at a fraction of the training cost.
+type Model struct {
+	emissions   map[string]*[NLabels]float64
+	transitions [NLabels + 1][NLabels]float64 // row NLabels is the start state
+}
+
+// NewModel returns an empty (all-zero) model.
+func NewModel() *Model {
+	return &Model{emissions: make(map[string]*[NLabels]float64)}
+}
+
+// Tag decodes the best label sequence for a tokenized phrase.
+func (m *Model) Tag(tokens []string) []Label {
+	if len(tokens) == 0 {
+		return nil
+	}
+	n := len(tokens)
+	// Emission scores per position.
+	emit := make([][NLabels]float64, n)
+	for i := range tokens {
+		for _, f := range featurize(tokens, i) {
+			if wv, ok := m.emissions[f]; ok {
+				for l := 0; l < int(NLabels); l++ {
+					emit[i][l] += wv[l]
+				}
+			}
+		}
+	}
+
+	// Viterbi.
+	type cell struct {
+		score float64
+		back  Label
+	}
+	prev := make([]cell, NLabels)
+	cur := make([]cell, NLabels)
+	backptr := make([][]Label, n)
+	for l := Label(0); l < NLabels; l++ {
+		prev[l] = cell{score: m.transitions[NLabels][l] + emit[0][l]}
+	}
+	for i := 1; i < n; i++ {
+		backptr[i] = make([]Label, NLabels)
+		for l := Label(0); l < NLabels; l++ {
+			best, bestFrom := prev[0].score+m.transitions[0][l], Label(0)
+			for from := Label(1); from < NLabels; from++ {
+				if s := prev[from].score + m.transitions[from][l]; s > best {
+					best, bestFrom = s, from
+				}
+			}
+			cur[l] = cell{score: best + emit[i][l]}
+			backptr[i][l] = bestFrom
+		}
+		prev, cur = cur, prev
+	}
+
+	bestLabel, bestScore := Label(0), prev[0].score
+	for l := Label(1); l < NLabels; l++ {
+		if prev[l].score > bestScore {
+			bestLabel, bestScore = l, prev[l].score
+		}
+	}
+	labels := make([]Label, n)
+	labels[n-1] = bestLabel
+	for i := n - 1; i > 0; i-- {
+		labels[i-1] = backptr[i][labels[i]]
+	}
+	return labels
+}
+
+// TagPhrase tokenizes and tags a raw phrase.
+func (m *Model) TagPhrase(phrase string) ([]string, []Label) {
+	toks := tokenize(phrase)
+	return toks, m.Tag(toks)
+}
+
+// TrainConfig controls perceptron training.
+type TrainConfig struct {
+	Epochs int   // passes over the training set (default 8)
+	Seed   int64 // shuffling seed; training is deterministic given it
+}
+
+// Train fits an averaged structured perceptron on gold examples. The
+// returned model holds the averaged weights, which generalize markedly
+// better than the final raw weights.
+func Train(examples []Example, cfg TrainConfig) (*Model, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("ner: no training examples")
+	}
+	for i, ex := range examples {
+		if err := ex.Validate(); err != nil {
+			return nil, err
+		}
+		if len(ex.Tokens) == 0 {
+			return nil, errors.New("ner: empty training example")
+		}
+		_ = i
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+
+	raw := NewModel()
+	// Averaging bookkeeping: totals accumulate weight×steps-held via the
+	// lazy-update trick (Daumé's averaged perceptron formulation).
+	totalEmissions := make(map[string]*[NLabels]float64)
+	lastUpdate := make(map[string]*[NLabels]int)
+	var totalTransitions [NLabels + 1][NLabels]float64
+	var lastTransUpdate [NLabels + 1][NLabels]int
+
+	step := 0
+	bumpEmit := func(f string, l Label, delta float64) {
+		wv, ok := raw.emissions[f]
+		if !ok {
+			wv = new([NLabels]float64)
+			raw.emissions[f] = wv
+			totalEmissions[f] = new([NLabels]float64)
+			lastUpdate[f] = new([NLabels]int)
+		}
+		totalEmissions[f][l] += wv[l] * float64(step-lastUpdate[f][l])
+		lastUpdate[f][l] = step
+		wv[l] += delta
+	}
+	bumpTrans := func(from int, to Label, delta float64) {
+		totalTransitions[from][to] += raw.transitions[from][to] * float64(step-lastTransUpdate[from][to])
+		lastTransUpdate[from][to] = step
+		raw.transitions[from][to] += delta
+	}
+
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			ex := examples[idx]
+			step++
+			pred := raw.Tag(ex.Tokens)
+			for i := range ex.Tokens {
+				if pred[i] == ex.Labels[i] {
+					continue
+				}
+				for _, f := range featurize(ex.Tokens, i) {
+					bumpEmit(f, ex.Labels[i], 1)
+					bumpEmit(f, pred[i], -1)
+				}
+			}
+			// Transition updates, including the start transition.
+			goldPrev, predPrev := int(NLabels), int(NLabels)
+			for i := range ex.Tokens {
+				g, p := ex.Labels[i], pred[i]
+				if goldPrev != predPrev || g != p {
+					bumpTrans(goldPrev, g, 1)
+					bumpTrans(predPrev, p, -1)
+				}
+				goldPrev, predPrev = int(g), int(p)
+			}
+		}
+	}
+
+	// Finalize averages.
+	avg := NewModel()
+	denom := float64(step)
+	for f, wv := range raw.emissions {
+		tot := totalEmissions[f]
+		lu := lastUpdate[f]
+		out := new([NLabels]float64)
+		nonzero := false
+		for l := 0; l < int(NLabels); l++ {
+			t := tot[l] + wv[l]*float64(step-lu[l])
+			out[l] = t / denom
+			if out[l] != 0 {
+				nonzero = true
+			}
+		}
+		if nonzero {
+			avg.emissions[f] = out
+		}
+	}
+	for from := 0; from <= int(NLabels); from++ {
+		for to := Label(0); to < NLabels; to++ {
+			t := totalTransitions[from][to] +
+				raw.transitions[from][to]*float64(step-lastTransUpdate[from][to])
+			avg.transitions[from][to] = t / denom
+		}
+	}
+	return avg, nil
+}
+
+// FeatureCount reports the number of active emission features (for
+// diagnostics and tests).
+func (m *Model) FeatureCount() int { return len(m.emissions) }

@@ -1,0 +1,77 @@
+package ner
+
+// RuleTagger is the deterministic baseline tagger. It encodes the
+// positional grammar of ingredient phrases directly: a leading numeric
+// token is the QUANTITY, a following measurement word is the UNIT,
+// closed-class lexicons give SIZE/TEMP/DF/STATE, punctuation and filler
+// map to O, and remaining content words are the NAME.
+//
+// It serves two roles: the ablation baseline the learned tagger is
+// compared against, and the bootstrap annotator used to produce silver
+// labels when no gold corpus is available.
+type RuleTagger struct{}
+
+// Tag labels a tokenized phrase. It never fails; unknown tokens default
+// to NAME, which is the majority class in ingredient phrases.
+func (RuleTagger) Tag(tokens []string) []Label {
+	labels := make([]Label, len(tokens))
+	seenName := false
+	afterComma := false
+	skipAlternative := false
+	for i, tok := range tokens {
+		// "3/4 cup butter or 3/4 cup margarine": once the NAME has been
+		// seen, an "or" introduces an alternative ingredient, which the
+		// paper's Table I drops entirely.
+		if skipAlternative && tok != "," {
+			labels[i] = Out
+			continue
+		}
+		if tok == "or" && seenName {
+			labels[i] = Out
+			skipAlternative = true
+			continue
+		}
+		switch {
+		case tok == "," || tok == "(" || tok == ")":
+			labels[i] = Out
+			if tok == "," {
+				afterComma = true
+				skipAlternative = false
+			}
+		case isQuantityToken(tok):
+			labels[i] = Quantity
+		case sizeWords[tok]:
+			labels[i] = Size
+		case tempWords[tok]:
+			labels[i] = Temp
+		case dfWords[tok]:
+			labels[i] = DF
+		case stateWords[tok]:
+			labels[i] = State
+		case fillerWords[tok]:
+			labels[i] = Out
+		case isUnitToken(tok) && !seenName:
+			// Unit words before the name are true units ("2 cups flour");
+			// after the name they are usually part of it or noise
+			// ("chicken breast" — breast is a count unit but here NAME).
+			labels[i] = Unit
+		default:
+			// Content word. After a comma boundary, trailing content
+			// words are nearly always processing states in this corpus
+			// ("onion , finely chopped"), but only when a name exists.
+			if afterComma && seenName {
+				labels[i] = State
+			} else {
+				labels[i] = Name
+				seenName = true
+			}
+		}
+	}
+	return labels
+}
+
+// TagPhrase tokenizes and tags a raw phrase in one call.
+func (r RuleTagger) TagPhrase(phrase string) ([]string, []Label) {
+	toks := tokenize(phrase)
+	return toks, r.Tag(toks)
+}

@@ -1,0 +1,71 @@
+package ner
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelData is the exported gob shadow of Model.
+type modelData struct {
+	Version     int
+	Emissions   map[string][]float64
+	Transitions [][]float64
+}
+
+const modelVersion = 1
+
+// Save serializes the trained model. The format is gob with a version
+// header; Load rejects unknown versions.
+func (m *Model) Save(w io.Writer) error {
+	data := modelData{
+		Version:   modelVersion,
+		Emissions: make(map[string][]float64, len(m.emissions)),
+	}
+	for f, wv := range m.emissions {
+		row := make([]float64, NLabels)
+		copy(row, wv[:])
+		data.Emissions[f] = row
+	}
+	data.Transitions = make([][]float64, NLabels+1)
+	for from := 0; from <= int(NLabels); from++ {
+		row := make([]float64, NLabels)
+		copy(row, m.transitions[from][:])
+		data.Transitions[from] = row
+	}
+	if err := gob.NewEncoder(w).Encode(data); err != nil {
+		return fmt.Errorf("ner: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var data modelData
+	if err := gob.NewDecoder(r).Decode(&data); err != nil {
+		return nil, fmt.Errorf("ner: decoding model: %w", err)
+	}
+	if data.Version != modelVersion {
+		return nil, fmt.Errorf("ner: model version %d, want %d", data.Version, modelVersion)
+	}
+	if len(data.Transitions) != int(NLabels)+1 {
+		return nil, fmt.Errorf("ner: model has %d transition rows, want %d",
+			len(data.Transitions), NLabels+1)
+	}
+	m := NewModel()
+	for f, row := range data.Emissions {
+		if len(row) != int(NLabels) {
+			return nil, fmt.Errorf("ner: feature %q has %d weights, want %d", f, len(row), NLabels)
+		}
+		wv := new([NLabels]float64)
+		copy(wv[:], row)
+		m.emissions[f] = wv
+	}
+	for from, row := range data.Transitions {
+		if len(row) != int(NLabels) {
+			return nil, fmt.Errorf("ner: transition row %d has %d weights, want %d", from, len(row), NLabels)
+		}
+		copy(m.transitions[from][:], row)
+	}
+	return m, nil
+}

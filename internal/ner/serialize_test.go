@@ -1,0 +1,65 @@
+package ner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	model, err := Train(goldCorpus(200, 7), TrainConfig{Epochs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FeatureCount() != model.FeatureCount() {
+		t.Fatalf("feature count %d after round trip, want %d",
+			back.FeatureCount(), model.FeatureCount())
+	}
+	// The loaded model must decode identically on a probe set.
+	probes := []string{
+		"2 cups fresh milk , chopped",
+		"1/2 lb butter",
+		"2-4 cloves garlic , minced",
+		"1 small onion",
+	}
+	for _, p := range probes {
+		toks := tokenize(p)
+		a, b := model.Tag(toks), back.Tag(toks)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round-trip divergence on %q at token %d: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("Load accepted empty input")
+	}
+}
+
+func TestSaveEmptyModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewModel().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FeatureCount() != 0 {
+		t.Errorf("empty model round-tripped with %d features", m.FeatureCount())
+	}
+}

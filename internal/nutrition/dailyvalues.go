@@ -1,0 +1,59 @@
+package nutrition
+
+// DailyValues is the FDA adult reference intake used for %DV labeling —
+// the comparison surface dietary-analytics applications (the paper's
+// abstract use case) report against.
+var DailyValues = Profile{
+	EnergyKcal: 2000,
+	ProteinG:   50,
+	FatG:       78,
+	CarbsG:     275,
+	FiberG:     28,
+	SugarG:     50, // added-sugar DV; total sugar has no official DV
+	CalciumMg:  1300,
+	IronMg:     18,
+	SodiumMg:   2300,
+	VitCMg:     90,
+	CholMg:     300,
+}
+
+// PercentDV is one nutrient's share of its daily value.
+type PercentDV struct {
+	Name    string
+	Amount  float64
+	Unit    string
+	Percent float64 // 0.25 = 25 % DV
+}
+
+// PercentDaily computes each nutrient's share of the reference daily
+// values, in label order. Zero-DV nutrients are skipped defensively.
+func (p Profile) PercentDaily() []PercentDV {
+	rows := []struct {
+		name string
+		amt  float64
+		dv   float64
+		unit string
+	}{
+		{"Energy", p.EnergyKcal, DailyValues.EnergyKcal, "kcal"},
+		{"Protein", p.ProteinG, DailyValues.ProteinG, "g"},
+		{"Fat", p.FatG, DailyValues.FatG, "g"},
+		{"Carbohydrate", p.CarbsG, DailyValues.CarbsG, "g"},
+		{"Fiber", p.FiberG, DailyValues.FiberG, "g"},
+		{"Sugar", p.SugarG, DailyValues.SugarG, "g"},
+		{"Calcium", p.CalciumMg, DailyValues.CalciumMg, "mg"},
+		{"Iron", p.IronMg, DailyValues.IronMg, "mg"},
+		{"Sodium", p.SodiumMg, DailyValues.SodiumMg, "mg"},
+		{"Vitamin C", p.VitCMg, DailyValues.VitCMg, "mg"},
+		{"Cholesterol", p.CholMg, DailyValues.CholMg, "mg"},
+	}
+	out := make([]PercentDV, 0, len(rows))
+	for _, r := range rows {
+		if r.dv <= 0 {
+			continue
+		}
+		out = append(out, PercentDV{
+			Name: r.name, Amount: r.amt, Unit: r.unit, Percent: r.amt / r.dv,
+		})
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package nutrition defines the nutrient-vector arithmetic the pipeline's
+// final stage performs (§II-C: "we calculate the nutrition profile of each
+// ingredient by merging the recipe data and nutrition data on the unit and
+// multiplying the nutrition profile by the quantity of the ingredient").
+//
+// A Profile carries the macro- and micro-nutrients USDA-SR reports per
+// 100 g of food. Ingredient profiles scale linearly with gram weight and
+// recipe profiles are the sum of ingredient profiles (the Schakel et al.
+// approximation the paper adopts).
+package nutrition
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Profile holds nutrient amounts. In a food-composition table a Profile is
+// per 100 g; after scaling it is per actual ingredient amount or per
+// recipe/serving. Units follow USDA-SR conventions.
+type Profile struct {
+	EnergyKcal float64 // kcal
+	ProteinG   float64 // g
+	FatG       float64 // g
+	CarbsG     float64 // g
+	FiberG     float64 // g
+	SugarG     float64 // g
+	CalciumMg  float64 // mg
+	IronMg     float64 // mg
+	SodiumMg   float64 // mg
+	VitCMg     float64 // mg
+	CholMg     float64 // mg
+}
+
+// Scale returns the profile multiplied by factor. Scaling a per-100 g
+// profile by grams/100 yields the profile of that many grams.
+func (p Profile) Scale(factor float64) Profile {
+	return Profile{
+		EnergyKcal: p.EnergyKcal * factor,
+		ProteinG:   p.ProteinG * factor,
+		FatG:       p.FatG * factor,
+		CarbsG:     p.CarbsG * factor,
+		FiberG:     p.FiberG * factor,
+		SugarG:     p.SugarG * factor,
+		CalciumMg:  p.CalciumMg * factor,
+		IronMg:     p.IronMg * factor,
+		SodiumMg:   p.SodiumMg * factor,
+		VitCMg:     p.VitCMg * factor,
+		CholMg:     p.CholMg * factor,
+	}
+}
+
+// ForGrams interprets p as a per-100 g profile and returns the profile of
+// the given gram weight.
+func (p Profile) ForGrams(grams float64) Profile { return p.Scale(grams / 100) }
+
+// Add returns the element-wise sum of two profiles.
+func (p Profile) Add(q Profile) Profile {
+	return Profile{
+		EnergyKcal: p.EnergyKcal + q.EnergyKcal,
+		ProteinG:   p.ProteinG + q.ProteinG,
+		FatG:       p.FatG + q.FatG,
+		CarbsG:     p.CarbsG + q.CarbsG,
+		FiberG:     p.FiberG + q.FiberG,
+		SugarG:     p.SugarG + q.SugarG,
+		CalciumMg:  p.CalciumMg + q.CalciumMg,
+		IronMg:     p.IronMg + q.IronMg,
+		SodiumMg:   p.SodiumMg + q.SodiumMg,
+		VitCMg:     p.VitCMg + q.VitCMg,
+		CholMg:     p.CholMg + q.CholMg,
+	}
+}
+
+// Sum folds a slice of profiles.
+func Sum(ps []Profile) Profile {
+	var total Profile
+	for _, p := range ps {
+		total = total.Add(p)
+	}
+	return total
+}
+
+// IsZero reports whether every nutrient is exactly zero.
+func (p Profile) IsZero() bool { return p == Profile{} }
+
+// Valid reports whether every nutrient is finite and non-negative — the
+// invariant the property tests enforce end-to-end.
+func (p Profile) Valid() bool {
+	for _, v := range p.fields() {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Profile) fields() [11]float64 {
+	return [11]float64{
+		p.EnergyKcal, p.ProteinG, p.FatG, p.CarbsG, p.FiberG, p.SugarG,
+		p.CalciumMg, p.IronMg, p.SodiumMg, p.VitCMg, p.CholMg,
+	}
+}
+
+// MacroEnergyKcal recomputes energy from the Atwater factors
+// (4 kcal/g protein, 9 kcal/g fat, 4 kcal/g carbohydrate) — used by the
+// synthetic database generator to keep nutrient vectors internally
+// consistent.
+func (p Profile) MacroEnergyKcal() float64 {
+	return 4*p.ProteinG + 9*p.FatG + 4*p.CarbsG
+}
+
+// String renders a compact single-line summary.
+func (p Profile) String() string {
+	return fmt.Sprintf("%.0f kcal, %.1fg protein, %.1fg fat, %.1fg carbs",
+		p.EnergyKcal, p.ProteinG, p.FatG, p.CarbsG)
+}
+
+// Table renders a multi-line nutrient table for CLI output.
+func (p Profile) Table() string {
+	var b strings.Builder
+	row := func(name, unit string, v float64) {
+		fmt.Fprintf(&b, "  %-14s %9.2f %s\n", name, v, unit)
+	}
+	row("Energy", "kcal", p.EnergyKcal)
+	row("Protein", "g", p.ProteinG)
+	row("Fat", "g", p.FatG)
+	row("Carbohydrate", "g", p.CarbsG)
+	row("Fiber", "g", p.FiberG)
+	row("Sugar", "g", p.SugarG)
+	row("Calcium", "mg", p.CalciumMg)
+	row("Iron", "mg", p.IronMg)
+	row("Sodium", "mg", p.SodiumMg)
+	row("Vitamin C", "mg", p.VitCMg)
+	row("Cholesterol", "mg", p.CholMg)
+	return b.String()
+}

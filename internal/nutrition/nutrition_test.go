@@ -1,0 +1,161 @@
+package nutrition
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Profile {
+	return Profile{
+		EnergyKcal: 717, ProteinG: 0.85, FatG: 81.1, CarbsG: 0.06,
+		SodiumMg: 643, CholMg: 215,
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := sample().Scale(0.5)
+	if p.EnergyKcal != 358.5 {
+		t.Errorf("Scale energy = %v, want 358.5", p.EnergyKcal)
+	}
+	if p.FatG != 40.55 {
+		t.Errorf("Scale fat = %v, want 40.55", p.FatG)
+	}
+}
+
+func TestForGrams(t *testing.T) {
+	// 1 tsp of salted butter weighs ~4.7 g → ~33.7 kcal; the paper's §III
+	// reference point is "1 teaspoon of it is equivalent to 35 calories".
+	p := sample().ForGrams(4.9)
+	if math.Abs(p.EnergyKcal-35.13) > 0.01 {
+		t.Errorf("ForGrams(4.9) energy = %v, want ≈35.13", p.EnergyKcal)
+	}
+}
+
+func TestAddAndSum(t *testing.T) {
+	a := Profile{EnergyKcal: 100, ProteinG: 5}
+	b := Profile{EnergyKcal: 50, FatG: 3}
+	c := a.Add(b)
+	if c.EnergyKcal != 150 || c.ProteinG != 5 || c.FatG != 3 {
+		t.Errorf("Add = %+v", c)
+	}
+	total := Sum([]Profile{a, b, c})
+	if total.EnergyKcal != 300 {
+		t.Errorf("Sum energy = %v, want 300", total.EnergyKcal)
+	}
+	if !Sum(nil).IsZero() {
+		t.Error("Sum(nil) not zero")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !sample().Valid() {
+		t.Error("sample profile invalid")
+	}
+	bad := Profile{EnergyKcal: -1}
+	if bad.Valid() {
+		t.Error("negative energy considered valid")
+	}
+	nan := Profile{FatG: math.NaN()}
+	if nan.Valid() {
+		t.Error("NaN fat considered valid")
+	}
+	inf := Profile{ProteinG: math.Inf(1)}
+	if inf.Valid() {
+		t.Error("infinite protein considered valid")
+	}
+}
+
+func TestMacroEnergy(t *testing.T) {
+	p := Profile{ProteinG: 10, FatG: 10, CarbsG: 10}
+	if got := p.MacroEnergyKcal(); got != 170 {
+		t.Errorf("MacroEnergyKcal = %v, want 170 (4+9+4 per 10g)", got)
+	}
+}
+
+func TestStringAndTable(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "717 kcal") {
+		t.Errorf("String missing energy: %q", s)
+	}
+	tab := sample().Table()
+	for _, want := range []string{"Energy", "Protein", "Sodium", "Cholesterol", "kcal"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("Table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestPercentDaily(t *testing.T) {
+	half := DailyValues.Scale(0.5)
+	rows := half.PercentDaily()
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Percent-0.5) > 1e-9 {
+			t.Errorf("%s: %%DV = %.3f, want 0.5", r.Name, r.Percent)
+		}
+		if r.Unit == "" || r.Name == "" {
+			t.Errorf("row missing metadata: %+v", r)
+		}
+	}
+	var zero Profile
+	for _, r := range zero.PercentDaily() {
+		if r.Percent != 0 {
+			t.Errorf("zero profile %%DV nonzero: %+v", r)
+		}
+	}
+}
+
+// genProfile builds a finite, bounded profile from raw quick values.
+func genProfile(vals [11]float64) Profile {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Abs(math.Mod(v, 1e6))
+	}
+	return Profile{
+		EnergyKcal: clamp(vals[0]), ProteinG: clamp(vals[1]), FatG: clamp(vals[2]),
+		CarbsG: clamp(vals[3]), FiberG: clamp(vals[4]), SugarG: clamp(vals[5]),
+		CalciumMg: clamp(vals[6]), IronMg: clamp(vals[7]), SodiumMg: clamp(vals[8]),
+		VitCMg: clamp(vals[9]), CholMg: clamp(vals[10]),
+	}
+}
+
+// Property: Add is commutative and associative-with-Sum; Scale distributes
+// over Add.
+func TestProfileAlgebra(t *testing.T) {
+	f := func(av, bv [11]float64, k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		k = math.Mod(math.Abs(k), 100)
+		a, b := genProfile(av), genProfile(bv)
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		lhs := a.Add(b).Scale(k)
+		rhs := a.Scale(k).Add(b.Scale(k))
+		return math.Abs(lhs.EnergyKcal-rhs.EnergyKcal) < 1e-6*(1+lhs.EnergyKcal)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling by a non-negative factor preserves validity.
+func TestScalePreservesValidity(t *testing.T) {
+	f := func(av [11]float64, k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		k = math.Mod(math.Abs(k), 1000)
+		return genProfile(av).Scale(k).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package postag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nutriprofile/internal/textutil"
+)
+
+func TestTagging(t *testing.T) {
+	cases := []struct {
+		tok  string
+		want Tag
+	}{
+		{"1/2", Num},
+		{"2-4", Num},
+		{"2.5", Num},
+		{"500", Num},
+		{"beef", Noun},
+		{"onion", Noun},
+		{"chopped", Verb},
+		{"ground", Verb},
+		{"finely", Adv},
+		{"freshly", Adv},
+		{"small", Adj},
+		{"fresh", Adj},
+		{"lean", Adj},
+		{"hard-cooked", Adj},
+		{"all-purpose", Adj},
+		{"the", Det},
+		{"with", Prep},
+		{"without", Prep},
+		{"or", Conj},
+		{",", Punct},
+		{"(", Punct},
+		{"", Other},
+	}
+	for _, c := range cases {
+		if got := Tagging(c.tok); got != c.want {
+			t.Errorf("Tagging(%q) = %v, want %v", c.tok, got, c.want)
+		}
+	}
+}
+
+func TestTagPhraseTableI(t *testing.T) {
+	// The first Table I phrase: "1/2 lb lean ground beef".
+	toks := textutil.Tokenize("1/2 lb lean ground beef")
+	tags := TagPhrase(toks)
+	want := []Tag{Num, Noun, Adj, Verb, Noun}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("tag[%d] (%q) = %v, want %v", i, toks[i], tags[i], want[i])
+		}
+	}
+}
+
+func TestFrequencyVector(t *testing.T) {
+	tags := []Tag{Num, Noun, Noun, Adj}
+	v := FrequencyVector(tags)
+	if len(v) != int(NTags) {
+		t.Fatalf("vector length = %d, want %d", len(v), NTags)
+	}
+	if v[Num] != 0.25 || v[Noun] != 0.5 || v[Adj] != 0.25 {
+		t.Errorf("vector = %v", v)
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("vector sum = %v, want 1", sum)
+	}
+}
+
+func TestFrequencyVectorEmpty(t *testing.T) {
+	v := FrequencyVector(nil)
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("empty vector[%d] = %v, want 0", i, x)
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Noun.String() != "NOUN" || Punct.String() != "PUNCT" {
+		t.Error("Tag.String misnamed")
+	}
+	if Tag(250).String() != "INVALID" {
+		t.Error("out-of-range Tag should stringify as INVALID")
+	}
+}
+
+// Property: frequency vectors are probability distributions (non-negative,
+// sum to 1 for non-empty input).
+func TestFrequencyVectorProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tags := make([]Tag, len(raw))
+		for i, r := range raw {
+			tags[i] = Tag(r % uint8(NTags))
+		}
+		v := FrequencyVector(tags)
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1.0) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tagging is total — every string gets a valid tag.
+func TestTaggingTotal(t *testing.T) {
+	f := func(s string) bool {
+		return Tagging(s) < NTags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

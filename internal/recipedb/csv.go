@@ -1,0 +1,183 @@
+package recipedb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/yield"
+)
+
+// CSV persistence for corpora. The format is line-oriented CSV with a
+// record-type discriminator in column 0:
+//
+//	R, id, title, cuisine, servings, servings-text, method,
+//	   <11 gold nutrient totals>
+//	S, recipeID, instruction-step-text
+//	I, recipeID, phrase, labels, ndb, regional, name, state, temp, df,
+//	   size, quantity, unit, grams
+//
+// Ingredient tokens are NOT stored: Tokens == textutil.Tokenize(Phrase)
+// is a generator invariant, so ReadCSV re-derives them and stores labels
+// space-separated in phrase-token order.
+
+// WriteCSV serializes the corpus.
+func (c *Corpus) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range c.Recipes {
+		r := &c.Recipes[i]
+		g := r.GoldTotal
+		rec := []string{
+			"R", strconv.Itoa(r.ID), r.Title, r.Cuisine,
+			strconv.Itoa(r.Servings), r.ServingsText, r.Method.String(),
+			ff(g.EnergyKcal), ff(g.ProteinG), ff(g.FatG), ff(g.CarbsG),
+			ff(g.FiberG), ff(g.SugarG), ff(g.CalciumMg), ff(g.IronMg),
+			ff(g.SodiumMg), ff(g.VitCMg), ff(g.CholMg),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("recipedb: writing recipe %d: %w", r.ID, err)
+		}
+		for _, step := range r.Instructions {
+			if err := cw.Write([]string{"S", strconv.Itoa(r.ID), step}); err != nil {
+				return fmt.Errorf("recipedb: writing instructions of recipe %d: %w", r.ID, err)
+			}
+		}
+		for j := range r.Ingredients {
+			ing := &r.Ingredients[j]
+			labels := make([]string, len(ing.Labels))
+			for k, l := range ing.Labels {
+				labels[k] = l.String()
+			}
+			gold := &ing.Gold
+			rec := []string{
+				"I", strconv.Itoa(r.ID), ing.Phrase, strings.Join(labels, " "),
+				strconv.Itoa(gold.NDB), strconv.FormatBool(gold.Regional),
+				gold.Name, gold.State, gold.Temp, gold.DryFresh, gold.Size,
+				ff(gold.Quantity), gold.Unit, ff(gold.Grams),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("recipedb: writing ingredient of recipe %d: %w", r.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a corpus written by WriteCSV and validates every recipe.
+func ReadCSV(r io.Reader) (*Corpus, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var corpus Corpus
+	var cur *Recipe
+	pf := func(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("recipedb: csv line %d: %w", line, err)
+		}
+		switch rec[0] {
+		case "R":
+			if len(rec) != 18 {
+				return nil, fmt.Errorf("recipedb: line %d: R record has %d fields, want 18", line, len(rec))
+			}
+			id, err1 := strconv.Atoi(rec[1])
+			servings, err2 := strconv.Atoi(rec[4])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("recipedb: line %d: bad recipe numbers", line)
+			}
+			var vals [11]float64
+			for i := range vals {
+				if vals[i], err = pf(rec[7+i]); err != nil {
+					return nil, fmt.Errorf("recipedb: line %d: bad gold nutrient: %w", line, err)
+				}
+			}
+			corpus.Recipes = append(corpus.Recipes, Recipe{
+				ID: id, Title: rec[2], Cuisine: rec[3],
+				Servings: servings, ServingsText: rec[5],
+				Method: yield.ParseMethod(rec[6]),
+				GoldTotal: nutrition.Profile{
+					EnergyKcal: vals[0], ProteinG: vals[1], FatG: vals[2],
+					CarbsG: vals[3], FiberG: vals[4], SugarG: vals[5],
+					CalciumMg: vals[6], IronMg: vals[7], SodiumMg: vals[8],
+					VitCMg: vals[9], CholMg: vals[10],
+				},
+			})
+			cur = &corpus.Recipes[len(corpus.Recipes)-1]
+		case "S":
+			if cur == nil {
+				return nil, fmt.Errorf("recipedb: line %d: instruction before any recipe", line)
+			}
+			if len(rec) != 3 {
+				return nil, fmt.Errorf("recipedb: line %d: S record has %d fields, want 3", line, len(rec))
+			}
+			if id, err := strconv.Atoi(rec[1]); err != nil || id != cur.ID {
+				return nil, fmt.Errorf("recipedb: line %d: instruction recipe id %q does not match %d", line, rec[1], cur.ID)
+			}
+			cur.Instructions = append(cur.Instructions, rec[2])
+		case "I":
+			if cur == nil {
+				return nil, fmt.Errorf("recipedb: line %d: ingredient before any recipe", line)
+			}
+			if len(rec) != 14 {
+				return nil, fmt.Errorf("recipedb: line %d: I record has %d fields, want 14", line, len(rec))
+			}
+			id, err := strconv.Atoi(rec[1])
+			if err != nil || id != cur.ID {
+				return nil, fmt.Errorf("recipedb: line %d: ingredient recipe id %q does not match %d", line, rec[1], cur.ID)
+			}
+			ing := Ingredient{Phrase: rec[2]}
+			ing.Tokens = tokenizePhrase(rec[2])
+			if rec[3] != "" {
+				for _, name := range strings.Fields(rec[3]) {
+					l, err := ner.ParseLabel(name)
+					if err != nil {
+						return nil, fmt.Errorf("recipedb: line %d: %w", line, err)
+					}
+					ing.Labels = append(ing.Labels, l)
+				}
+			}
+			if len(ing.Labels) != len(ing.Tokens) {
+				return nil, fmt.Errorf("recipedb: line %d: %d labels for %d tokens",
+					line, len(ing.Labels), len(ing.Tokens))
+			}
+			ndb, err := strconv.Atoi(rec[4])
+			if err != nil {
+				return nil, fmt.Errorf("recipedb: line %d: bad NDB %q", line, rec[4])
+			}
+			regional, err := strconv.ParseBool(rec[5])
+			if err != nil {
+				return nil, fmt.Errorf("recipedb: line %d: bad regional flag %q", line, rec[5])
+			}
+			qty, err1 := pf(rec[11])
+			grams, err2 := pf(rec[13])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("recipedb: line %d: bad gold numbers", line)
+			}
+			ing.Gold = Gold{
+				NDB: ndb, Regional: regional,
+				Name: rec[6], State: rec[7], Temp: rec[8],
+				DryFresh: rec[9], Size: rec[10],
+				Quantity: qty, Unit: rec[12], Grams: grams,
+			}
+			cur.Ingredients = append(cur.Ingredients, ing)
+		default:
+			return nil, fmt.Errorf("recipedb: line %d: unknown record type %q", line, rec[0])
+		}
+	}
+	for i := range corpus.Recipes {
+		if err := corpus.Recipes[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &corpus, nil
+}

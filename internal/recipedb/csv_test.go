@@ -1,0 +1,85 @@
+package recipedb
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCorpusCSVRoundTrip(t *testing.T) {
+	orig := genCorpus(t, 80, 13)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip: %d recipes, want %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Recipes {
+		a, b := &orig.Recipes[i], &back.Recipes[i]
+		if a.ID != b.ID || a.Title != b.Title || a.Cuisine != b.Cuisine ||
+			a.Servings != b.Servings || a.ServingsText != b.ServingsText ||
+			a.Method != b.Method {
+			t.Fatalf("recipe %d header mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if a.GoldTotal != b.GoldTotal {
+			t.Fatalf("recipe %d gold total mismatch", i)
+		}
+		if !reflect.DeepEqual(a.Instructions, b.Instructions) {
+			t.Fatalf("recipe %d instructions mismatch:\n%v\n%v", i, a.Instructions, b.Instructions)
+		}
+		if len(a.Ingredients) != len(b.Ingredients) {
+			t.Fatalf("recipe %d ingredient count mismatch", i)
+		}
+		for j := range a.Ingredients {
+			ia, ib := &a.Ingredients[j], &b.Ingredients[j]
+			if ia.Phrase != ib.Phrase {
+				t.Fatalf("phrase mismatch: %q vs %q", ia.Phrase, ib.Phrase)
+			}
+			if !reflect.DeepEqual(ia.Tokens, ib.Tokens) {
+				t.Fatalf("tokens mismatch for %q", ia.Phrase)
+			}
+			if !reflect.DeepEqual(ia.Labels, ib.Labels) {
+				t.Fatalf("labels mismatch for %q", ia.Phrase)
+			}
+			if ia.Gold != ib.Gold {
+				t.Fatalf("gold mismatch for %q:\n%+v\n%+v", ia.Phrase, ia.Gold, ib.Gold)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"ingredient before recipe": `I,1,x,NAME,1,false,x,,,,,1,,5` + "\n",
+		"unknown record type":      `X,1` + "\n",
+		"short R record":           `R,1,t,c,4` + "\n",
+		"bad servings":             `R,1,t,c,abc,4,none,0,0,0,0,0,0,0,0,0,0,0` + "\n",
+		"bad label": `R,1,t,c,4,4,none,0,0,0,0,0,0,0,0,0,0,0` + "\n" +
+			`I,1,1 cup milk,BOGUS BOGUS BOGUS,1077,false,milk,,,,,1,cup,244` + "\n",
+		"label arity": `R,1,t,c,4,4,none,0,0,0,0,0,0,0,0,0,0,0` + "\n" +
+			`I,1,1 cup milk,NAME,1077,false,milk,,,,,1,cup,244` + "\n",
+		"mismatched recipe id": `R,1,t,c,4,4,none,0,0,0,0,0,0,0,0,0,0,0` + "\n" +
+			`I,9,1 cup milk,QUANTITY UNIT NAME,1077,false,milk,,,,,1,cup,244` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadCSV accepted bad input", name)
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	c, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("empty input produced %d recipes", c.Len())
+	}
+}

@@ -1,0 +1,30 @@
+package recipedb
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a valid single-recipe document and mutations of it.
+	valid := "R,1,Title,American,4,4,baked,100,5,3,10,1,2,50,1,200,5,10\n" +
+		"S,1,Bake it.\n" +
+		"I,1,1 cup milk,QUANTITY UNIT NAME,1077,false,milk,,,,,1,cup,244\n"
+	f.Add(valid)
+	f.Add("")
+	f.Add("R,1\n")
+	f.Add("I,1,phrase,NAME,x,y,,,,,,,,\n")
+	f.Add(strings.ReplaceAll(valid, "1077", "-5"))
+	f.Fuzz(func(t *testing.T, s string) {
+		// Must never panic; errors are fine.
+		c, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for i := range c.Recipes {
+			if err := c.Recipes[i].Validate(); err != nil {
+				t.Fatalf("ReadCSV accepted invalid recipe: %v", err)
+			}
+		}
+	})
+}

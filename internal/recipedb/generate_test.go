@@ -1,0 +1,296 @@
+package recipedb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nutriprofile/internal/instructions"
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/textutil"
+	"nutriprofile/internal/units"
+	"nutriprofile/internal/usda"
+	"nutriprofile/internal/yield"
+)
+
+func genCorpus(t testing.TB, n int, seed int64) *Corpus {
+	t.Helper()
+	c, err := Generate(Config{NumRecipes: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateBasics(t *testing.T) {
+	c := genCorpus(t, 200, 1)
+	if c.Len() != 200 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := range c.Recipes {
+		if err := c.Recipes[i].Validate(); err != nil {
+			t.Fatalf("recipe %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genCorpus(t, 50, 7)
+	b := genCorpus(t, 50, 7)
+	for i := range a.Recipes {
+		ra, rb := a.Recipes[i], b.Recipes[i]
+		if ra.Title != rb.Title || len(ra.Ingredients) != len(rb.Ingredients) {
+			t.Fatalf("recipe %d differs across identical seeds", i)
+		}
+		for j := range ra.Ingredients {
+			if ra.Ingredients[j].Phrase != rb.Ingredients[j].Phrase {
+				t.Fatalf("phrase %d/%d differs: %q vs %q", i, j,
+					ra.Ingredients[j].Phrase, rb.Ingredients[j].Phrase)
+			}
+		}
+	}
+	diff := genCorpus(t, 50, 8)
+	same := 0
+	for i := range a.Recipes {
+		if a.Recipes[i].Title == diff.Recipes[i].Title {
+			same++
+		}
+	}
+	if same == len(a.Recipes) {
+		t.Error("corpus identical across different seeds")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{NumRecipes: 0}); err == nil {
+		t.Error("NumRecipes=0 accepted")
+	}
+}
+
+// TestTokensAlignWithTokenizer is the load-bearing invariant: the gold
+// Tokens of every ingredient must equal what the tokenizer produces from
+// the phrase, or the NER evaluation would be misaligned.
+func TestTokensAlignWithTokenizer(t *testing.T) {
+	c := genCorpus(t, 300, 2)
+	for _, r := range c.Recipes {
+		for _, ing := range r.Ingredients {
+			want := textutil.Tokenize(ing.Phrase)
+			if !reflect.DeepEqual(ing.Tokens, want) {
+				t.Fatalf("token misalignment for %q:\n gold %v\n tok  %v",
+					ing.Phrase, ing.Tokens, want)
+			}
+		}
+	}
+}
+
+func TestGoldLabelsSane(t *testing.T) {
+	c := genCorpus(t, 300, 3)
+	for _, r := range c.Recipes {
+		for _, ing := range r.Ingredients {
+			if len(ing.Tokens) != len(ing.Labels) {
+				t.Fatalf("arity mismatch for %q", ing.Phrase)
+			}
+			hasName, hasQty := false, false
+			for i, l := range ing.Labels {
+				if l >= ner.NLabels {
+					t.Fatalf("label out of range for %q", ing.Phrase)
+				}
+				if l == ner.Name {
+					hasName = true
+				}
+				if l == ner.Quantity {
+					if !strings.ContainsAny(ing.Tokens[i], "0123456789") && ing.Tokens[i] != "one" {
+						t.Fatalf("non-numeric QUANTITY token %q in %q", ing.Tokens[i], ing.Phrase)
+					}
+					hasQty = true
+				}
+			}
+			if !hasName {
+				t.Fatalf("no NAME token in %q", ing.Phrase)
+			}
+			if !hasQty {
+				t.Fatalf("no QUANTITY token in %q", ing.Phrase)
+			}
+		}
+	}
+}
+
+func TestGoldGramsPositiveAndPlausible(t *testing.T) {
+	c := genCorpus(t, 300, 4)
+	for _, r := range c.Recipes {
+		for _, ing := range r.Ingredients {
+			g := ing.Gold
+			if g.Grams <= 0 || g.Grams > 25000 {
+				t.Fatalf("implausible gold grams %v for %q", g.Grams, ing.Phrase)
+			}
+			if g.Quantity <= 0 {
+				t.Fatalf("non-positive quantity for %q", ing.Phrase)
+			}
+			if g.Unit != "" && !units.IsKnown(g.Unit) {
+				t.Fatalf("gold unit %q not canonical for %q", g.Unit, ing.Phrase)
+			}
+		}
+	}
+}
+
+func TestGoldNDBsExistInTables(t *testing.T) {
+	seed := usda.Seed()
+	regional := usda.Regional()
+	c := genCorpus(t, 200, 5)
+	regionalLines := 0
+	total := 0
+	for _, r := range c.Recipes {
+		for _, ing := range r.Ingredients {
+			total++
+			if ing.Gold.NDB == 0 {
+				t.Fatalf("gold NDB 0 for %q; every ingredient must have a true food", ing.Phrase)
+			}
+			if ing.Gold.Regional {
+				regionalLines++
+				if _, ok := regional.ByNDB(ing.Gold.NDB); !ok {
+					t.Fatalf("regional gold NDB %d missing (%q)", ing.Gold.NDB, ing.Phrase)
+				}
+				if _, ok := seed.ByNDB(ing.Gold.NDB); ok {
+					t.Fatalf("regional gold NDB %d unexpectedly in the primary seed", ing.Gold.NDB)
+				}
+				continue
+			}
+			if _, ok := seed.ByNDB(ing.Gold.NDB); !ok {
+				t.Fatalf("gold NDB %d missing from seed DB (%q)", ing.Gold.NDB, ing.Phrase)
+			}
+		}
+	}
+	if regionalLines == 0 {
+		t.Error("corpus has no region-specific ingredients")
+	}
+	if frac := float64(regionalLines) / float64(total); frac > 0.2 {
+		t.Errorf("regional fraction %.2f too high", frac)
+	}
+}
+
+func TestCuisineCoverage(t *testing.T) {
+	c := genCorpus(t, 2000, 6)
+	seen := map[string]bool{}
+	for _, r := range c.Recipes {
+		seen[r.Cuisine] = true
+	}
+	// The paper's corpus spans 26 regional cuisines.
+	if len(seen) != 26 {
+		t.Errorf("saw %d cuisines, want 26", len(seen))
+	}
+}
+
+func TestNoiseClassesPresent(t *testing.T) {
+	c := genCorpus(t, 1500, 9)
+	var dual, rng, mixed, glyphless, postComma, converted int
+	for _, r := range c.Recipes {
+		for _, ing := range r.Ingredients {
+			p := ing.Phrase
+			if strings.Contains(p, " or ") {
+				dual++
+			}
+			if strings.Contains(ing.Gold.Name, " ") {
+				glyphless++ // multi-word names
+			}
+			for _, tok := range ing.Tokens {
+				if strings.Contains(tok, "-") && strings.ContainsAny(tok, "0123456789") {
+					rng++
+				}
+			}
+			if strings.Contains(p, "1/2") || strings.Contains(p, "1/4") || strings.Contains(p, "3/4") {
+				mixed++
+			}
+			if strings.Contains(p, " , ") {
+				postComma++
+			}
+			if ing.Gold.Unit == "teaspoon" || ing.Gold.Unit == "fluid ounce" {
+				converted++
+			}
+		}
+	}
+	for name, count := range map[string]int{
+		"dual-unit": dual, "range-quantity": rng, "fraction": mixed,
+		"multi-word-name": glyphless, "post-comma-state": postComma,
+	} {
+		if count == 0 {
+			t.Errorf("noise class %q absent from corpus", name)
+		}
+	}
+}
+
+func TestExamplesAndPhrases(t *testing.T) {
+	c := genCorpus(t, 50, 10)
+	exs := c.Examples()
+	phrases := c.Phrases()
+	if len(exs) != len(phrases) {
+		t.Fatalf("examples %d vs phrases %d", len(exs), len(phrases))
+	}
+	for _, ex := range exs {
+		if err := ex.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInstructionsCarryMethod(t *testing.T) {
+	c := genCorpus(t, 200, 15)
+	wrong := 0
+	for _, r := range c.Recipes {
+		if len(r.Instructions) < 2 {
+			t.Fatalf("recipe %d has %d instruction steps", r.ID, len(r.Instructions))
+		}
+		if got := instructions.InferMethod(r.Instructions); got != r.Method {
+			// Rare: an ingredient name containing a cooking verb
+			// ("beef stew meat") echoed in a prep step.
+			wrong++
+		}
+		if got := yield.InferFromTitle(r.Title); got != r.Method {
+			t.Fatalf("recipe %d: inferred %v from title %q, gold %v", r.ID, got, r.Title, r.Method)
+		}
+	}
+	if float64(wrong) > 0.01*float64(c.Len()) {
+		t.Errorf("instruction-based method inference wrong on %d/%d recipes", wrong, c.Len())
+	}
+}
+
+func TestGoldPerServing(t *testing.T) {
+	c := genCorpus(t, 100, 11)
+	for _, r := range c.Recipes {
+		ps := r.GoldPerServing()
+		if !ps.Valid() {
+			t.Fatalf("invalid per-serving profile for recipe %d", r.ID)
+		}
+		if r.GoldTotal.EnergyKcal > 0 && ps.EnergyKcal <= 0 {
+			t.Fatalf("per-serving energy vanished for recipe %d", r.ID)
+		}
+	}
+}
+
+// Property: generation never panics and always validates across seeds.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := Generate(Config{NumRecipes: 20, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := range c.Recipes {
+			if c.Recipes[i].Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{NumRecipes: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package recipedb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"nutriprofile/internal/instructions"
+	"nutriprofile/internal/units"
+	"nutriprofile/internal/yield"
+)
+
+// ParseText reads a recipe in the plain-text layout recipe sites export
+// and users write by hand:
+//
+//	Title line
+//	Serves 4                      (optional; any servings spelling)
+//
+//	Ingredients:                  (header optional)
+//	2 cups all-purpose flour
+//	1/2 cup butter, softened
+//
+//	Instructions:                 (section optional)
+//	Preheat the oven to 180C...
+//
+// Sections are recognized by their headers (case-insensitive,
+// "ingredients"/"instructions"/"directions"/"method", trailing colon
+// optional). Without headers, every non-blank line after the title and
+// servings is an ingredient. The returned Recipe carries no gold
+// annotations — it is pipeline input, not corpus data — but Method is
+// inferred from the instruction text when present.
+func ParseText(r io.Reader) (*Recipe, error) {
+	sc := bufio.NewScanner(r)
+	rec := &Recipe{ID: 1, Servings: 1, ServingsText: "1"}
+
+	const (
+		inPreamble = iota
+		inIngredients
+		inInstructions
+	)
+	state := inPreamble
+	sawTitle := false
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch header(line) {
+		case "ingredients":
+			state = inIngredients
+			continue
+		case "instructions":
+			state = inInstructions
+			continue
+		}
+		switch state {
+		case inPreamble:
+			if !sawTitle {
+				rec.Title = line
+				sawTitle = true
+				continue
+			}
+			if n, _, ok := units.ParseServings(line); ok && looksLikeServings(line) {
+				rec.Servings = n
+				rec.ServingsText = line
+				continue
+			}
+			// First non-title, non-servings line starts the ingredients.
+			state = inIngredients
+			fallthrough
+		case inIngredients:
+			rec.Ingredients = append(rec.Ingredients, Ingredient{Phrase: line})
+		case inInstructions:
+			rec.Instructions = append(rec.Instructions, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("recipedb: reading recipe text: %w", err)
+	}
+	if len(rec.Ingredients) == 0 {
+		return nil, fmt.Errorf("recipedb: no ingredient lines found")
+	}
+	if len(rec.Instructions) > 0 {
+		rec.Method = instructions.InferMethod(rec.Instructions)
+	} else {
+		rec.Method = yield.InferFromTitle(rec.Title)
+	}
+	return rec, nil
+}
+
+// header canonicalizes a section header line, or returns "".
+func header(line string) string {
+	h := strings.ToLower(strings.TrimSuffix(strings.TrimSpace(line), ":"))
+	switch h {
+	case "ingredients", "ingredient list":
+		return "ingredients"
+	case "instructions", "directions", "method", "preparation", "steps":
+		return "instructions"
+	}
+	return ""
+}
+
+// looksLikeServings guards against eating an ingredient line as the
+// servings ("2 cups flour" parses as servings=2 otherwise): a servings
+// line mentions serves/servings/makes/yield or is a bare number.
+func looksLikeServings(line string) bool {
+	l := strings.ToLower(line)
+	for _, kw := range []string{"serve", "serving", "makes", "yield", "portion"} {
+		if strings.Contains(l, kw) {
+			return true
+		}
+	}
+	return strings.IndexFunc(l, func(r rune) bool { return r < '0' || r > '9' }) == -1
+}
+
+// Phrases returns the raw ingredient phrases of one recipe (mirroring
+// Corpus.Phrases for single parsed recipes).
+func (r *Recipe) Phrases() []string {
+	out := make([]string, len(r.Ingredients))
+	for i := range r.Ingredients {
+		out[i] = r.Ingredients[i].Phrase
+	}
+	return out
+}

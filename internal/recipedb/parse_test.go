@@ -1,0 +1,108 @@
+package recipedb
+
+import (
+	"strings"
+	"testing"
+
+	"nutriprofile/internal/yield"
+)
+
+func TestParseTextFull(t *testing.T) {
+	text := `Baked Macaroni and Cheese
+Serves 6
+
+Ingredients:
+8 oz pasta
+2 cups cheddar cheese , shredded
+2 cups milk
+2 tablespoons butter
+
+Instructions:
+Preheat the oven to 180C.
+Combine everything and bake for 30 minutes.
+`
+	rec, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Title != "Baked Macaroni and Cheese" {
+		t.Errorf("title = %q", rec.Title)
+	}
+	if rec.Servings != 6 || rec.ServingsText != "Serves 6" {
+		t.Errorf("servings = %d %q", rec.Servings, rec.ServingsText)
+	}
+	if len(rec.Ingredients) != 4 {
+		t.Fatalf("ingredients = %d: %v", len(rec.Ingredients), rec.Phrases())
+	}
+	if rec.Ingredients[0].Phrase != "8 oz pasta" {
+		t.Errorf("first ingredient = %q", rec.Ingredients[0].Phrase)
+	}
+	if len(rec.Instructions) != 2 {
+		t.Fatalf("instructions = %d", len(rec.Instructions))
+	}
+	if rec.Method != yield.Baked {
+		t.Errorf("method = %v, want baked", rec.Method)
+	}
+}
+
+func TestParseTextNoHeaders(t *testing.T) {
+	text := `Simple Salad
+2 cups lettuce , shredded
+1 tomato , diced
+1 tablespoon olive oil
+`
+	rec, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Title != "Simple Salad" {
+		t.Errorf("title = %q", rec.Title)
+	}
+	if len(rec.Ingredients) != 3 {
+		t.Fatalf("ingredients = %d", len(rec.Ingredients))
+	}
+	// "2 cups lettuce" must NOT be eaten as a servings line.
+	if rec.Servings != 1 {
+		t.Errorf("servings = %d, want default 1", rec.Servings)
+	}
+	if rec.Method != yield.None {
+		t.Errorf("method = %v, want none (from title)", rec.Method)
+	}
+}
+
+func TestParseTextBareServingsNumber(t *testing.T) {
+	text := "Stew\n4\n1 lb stew beef\n"
+	rec, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Servings != 4 {
+		t.Errorf("servings = %d, want 4", rec.Servings)
+	}
+	if len(rec.Ingredients) != 1 {
+		t.Fatalf("ingredients = %v", rec.Phrases())
+	}
+	if rec.Method != yield.Stewed {
+		t.Errorf("method = %v, want stewed (title)", rec.Method)
+	}
+}
+
+func TestParseTextDirectionsAlias(t *testing.T) {
+	text := "T\n1 egg\nDirections\nBoil for 7 minutes.\n"
+	rec, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Instructions) != 1 || rec.Method != yield.Boiled {
+		t.Errorf("instructions=%v method=%v", rec.Instructions, rec.Method)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	if _, err := ParseText(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ParseText(strings.NewReader("Title Only\n")); err == nil {
+		t.Error("title-only input accepted")
+	}
+}

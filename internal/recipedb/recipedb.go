@@ -1,0 +1,163 @@
+// Package recipedb is the corpus substrate: a RecipeDB-style collection
+// of recipes whose ingredient sections are noisy natural-language phrases.
+//
+// The paper consumes 118,071 scraped recipes from AllRecipes and FOOD.com.
+// This package substitutes a deterministic generator that renders phrases
+// from a structured gold model, reproducing the noise classes the paper
+// documents — fraction and range quantities ("2 1/2", "2-4"), unit aliases
+// ("tbsp"/"tablespoon"), post-comma states ("onion , finely chopped"),
+// dual-unit phrases ("500 g or 1 cup"), missing units, and region-specific
+// ingredients absent from the composition table ("garam masala"). Because
+// every phrase is rendered from structure, the corpus carries exact ground
+// truth for NER labels, USDA identity, gram weight and per-serving
+// calories — the role the AllRecipes third-party profiles play in §III.
+package recipedb
+
+import (
+	"fmt"
+
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/yield"
+)
+
+// Gold is the ground truth behind one rendered ingredient phrase.
+type Gold struct {
+	// NDB is the true composition-table food. For Regional ingredients
+	// it refers to the FAO-style regional table (usda.Regional), which
+	// the US-centric primary table cannot map — the paper's "garam
+	// masala" case.
+	NDB int
+	// Regional marks ingredients absent from the primary table.
+	Regional bool
+	// Name is the surface ingredient name used in the phrase.
+	Name string
+	// State/Temp/DryFresh/Size are the entity values rendered, if any.
+	State, Temp, DryFresh, Size string
+	// Quantity is the numeric quantity after normalization (2-4 → 3).
+	Quantity float64
+	// Unit is the canonical unit rendered, or "" for bare counts.
+	Unit string
+	// Grams is the true gram weight of the whole ingredient line.
+	Grams float64
+}
+
+// Ingredient is one line of a recipe's ingredient section.
+type Ingredient struct {
+	// Phrase is the noisy rendered text, e.g. "2-4 cloves garlic , minced".
+	Phrase string
+	// Tokens and Labels are the gold NER annotation of Phrase. Tokens
+	// equals textutil.Tokenize(Phrase).
+	Tokens []string
+	Labels []ner.Label
+	// Gold is the structured ground truth.
+	Gold Gold
+}
+
+// Recipe is one recipe with its gold nutritional profile.
+type Recipe struct {
+	ID      int
+	Title   string
+	Cuisine string
+	// Servings is the true serving count; ServingsText is the noisy
+	// surface form recipes publish ("Serves 4", "4-6 servings"). The
+	// paper's calorie evaluation keeps only recipes with "clean,
+	// well-defined servings" — units.ParseServings recovers both the
+	// count and the cleanliness from the text.
+	Servings     int
+	ServingsText string
+	// Method is the dish's cooking method (inferable from Title, which
+	// always contains the dish word, and from Instructions).
+	Method yield.Method
+	// Ingredients is the rendered ingredient section.
+	Ingredients []Ingredient
+	// Instructions is the cooking-instructions section (RecipeDB stores
+	// one per recipe; the core pipeline ignores it, the yield extension
+	// mines it for the cooking method).
+	Instructions []string
+	// GoldTotal is the true RAW nutrient total over all ingredient lines
+	// (including unmappable ones — their nutrition is real even if the
+	// composition table cannot supply it). The as-cooked truth is
+	// GoldCookedTotal.
+	GoldTotal nutrition.Profile
+}
+
+// GoldPerServing returns the true raw-sum per-serving profile.
+func (r *Recipe) GoldPerServing() nutrition.Profile {
+	if r.Servings <= 0 {
+		return r.GoldTotal
+	}
+	return r.GoldTotal.Scale(1 / float64(r.Servings))
+}
+
+// GoldCookedTotal returns the true as-cooked nutrient total: the raw sum
+// corrected by the dish's cooking-method retention factors (the Bognár
+// adjustment the paper cites as the accuracy ceiling of the raw-sum
+// approximation).
+func (r *Recipe) GoldCookedTotal() nutrition.Profile {
+	return yield.Apply(r.GoldTotal, r.Method)
+}
+
+// GoldCookedPerServing returns the as-cooked per-serving profile.
+func (r *Recipe) GoldCookedPerServing() nutrition.Profile {
+	if r.Servings <= 0 {
+		return r.GoldCookedTotal()
+	}
+	return r.GoldCookedTotal().Scale(1 / float64(r.Servings))
+}
+
+// Corpus is a generated recipe collection.
+type Corpus struct {
+	Recipes []Recipe
+}
+
+// Len returns the number of recipes.
+func (c *Corpus) Len() int { return len(c.Recipes) }
+
+// Phrases streams every ingredient phrase in the corpus.
+func (c *Corpus) Phrases() []string {
+	var out []string
+	for i := range c.Recipes {
+		for j := range c.Recipes[i].Ingredients {
+			out = append(out, c.Recipes[i].Ingredients[j].Phrase)
+		}
+	}
+	return out
+}
+
+// Examples converts the corpus's gold annotations into NER training
+// examples.
+func (c *Corpus) Examples() []ner.Example {
+	var out []ner.Example
+	for i := range c.Recipes {
+		for j := range c.Recipes[i].Ingredients {
+			ing := &c.Recipes[i].Ingredients[j]
+			out = append(out, ner.Example{Tokens: ing.Tokens, Labels: ing.Labels})
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency of a recipe (for tests and
+// loaders).
+func (r *Recipe) Validate() error {
+	if r.Servings <= 0 {
+		return fmt.Errorf("recipedb: recipe %d has servings %d", r.ID, r.Servings)
+	}
+	if len(r.Ingredients) == 0 {
+		return fmt.Errorf("recipedb: recipe %d has no ingredients", r.ID)
+	}
+	for i, ing := range r.Ingredients {
+		if len(ing.Tokens) != len(ing.Labels) {
+			return fmt.Errorf("recipedb: recipe %d ingredient %d: %d tokens vs %d labels",
+				r.ID, i, len(ing.Tokens), len(ing.Labels))
+		}
+		if ing.Gold.Grams < 0 || ing.Gold.Quantity < 0 {
+			return fmt.Errorf("recipedb: recipe %d ingredient %d: negative gold", r.ID, i)
+		}
+	}
+	if !r.GoldTotal.Valid() {
+		return fmt.Errorf("recipedb: recipe %d has invalid gold profile", r.ID)
+	}
+	return nil
+}

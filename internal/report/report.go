@@ -1,0 +1,108 @@
+// Package report renders the experiment outputs in the layouts the paper
+// uses: aligned text tables (Tables I–IV) and an ASCII bar histogram
+// (Fig. 2).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with a separator line under the header.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a labeled horizontal ASCII bar chart. values and labels
+// must be the same length; bars scale to maxWidth characters.
+func Bar(labels []string, values []int, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	maxVal := 1
+	labelW := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		bar := strings.Repeat("█", v*maxWidth/maxVal)
+		if v > 0 && bar == "" {
+			bar = "▏"
+		}
+		fmt.Fprintf(&b, "%-*s |%s %d\n", labelW, labels[i], bar, v)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with two decimals ("94.49%").
+func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Section renders an underlined section heading.
+func Section(title string) string {
+	return title + "\n" + strings.Repeat("=", len(title)) + "\n"
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Ingredient", "Unit", "Grams")
+	tb.AddRow("Butter,salted", "pat", "5.0")
+	tb.AddRow("Butter,salted", "tbsp", "14.2")
+	tb.AddRow("short")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Ingredient") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	// Columns align: "pat" and "tbsp" start at the same offset.
+	if strings.Index(lines[2], "pat") != strings.Index(lines[3], "tbsp") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"a", "bb"}, []int{10, 5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bars:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "█") {
+		t.Errorf("no bar glyphs: %q", lines[0])
+	}
+	if strings.Count(lines[0], "█") <= strings.Count(lines[1], "█") {
+		t.Error("bar lengths not proportional")
+	}
+	if !strings.HasSuffix(lines[0], "10") {
+		t.Errorf("missing count suffix: %q", lines[0])
+	}
+}
+
+func TestBarTinyNonZero(t *testing.T) {
+	out := Bar([]string{"x", "y"}, []int{1000, 1}, 30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "▏") && !strings.Contains(lines[1], "█") {
+		t.Errorf("nonzero value rendered invisible: %q", lines[1])
+	}
+}
+
+func TestPctAndF2(t *testing.T) {
+	if got := Pct(0.9449); got != "94.49%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F2(36.4249); got != "36.42" {
+		t.Errorf("F2 = %q", got)
+	}
+}
+
+func TestSection(t *testing.T) {
+	out := Section("Results")
+	if !strings.Contains(out, "Results\n=======") {
+		t.Errorf("Section = %q", out)
+	}
+}

@@ -1,0 +1,85 @@
+// Package stopwords provides the stop-word list used by the description
+// matcher's preprocessing step (§II-B(e) of the paper: "lemmatization,
+// stop-word removal and uniform casing").
+//
+// The list is the standard English function-word inventory plus a handful
+// of culinary filler words ("approximately", "optional") that carry no
+// matching signal. Negation words are deliberately EXCLUDED: the matcher's
+// negation rewriting (§II-B(f)) turns "without"/"un-" prefixes into the
+// sentinel token "not", which must survive stop-word filtering to produce
+// the "butter not salt" ↔ "not salt butter" perfect match the paper
+// describes.
+package stopwords
+
+import "nutriprofile/internal/textutil"
+
+// list is the raw stop-word inventory. Kept sorted for readability.
+var list = []string{
+	"a", "about", "above", "after", "again", "all", "also", "am", "an",
+	"and", "any", "approximately", "are", "as", "at",
+	"be", "because", "been", "before", "being", "below", "between", "both",
+	"but", "by",
+	"can", "could",
+	"did", "do", "does", "doing", "down", "during",
+	"each",
+	"few", "for", "from", "further",
+	"had", "has", "have", "having", "he", "her", "here", "hers", "him",
+	"his", "how",
+	"i", "if", "in", "into", "is", "it", "its", "itself",
+	"just",
+	"me", "more", "most", "my",
+	"of", "off", "on", "once", "only", "optional", "or", "other", "our",
+	"out", "over", "own",
+	"per", "plus",
+	"same", "she", "should", "so", "some", "such",
+	"than", "that", "the", "their", "theirs", "them", "then", "there",
+	"these", "they", "this", "those", "through", "to", "too",
+	"under", "until", "up",
+	"very",
+	"was", "we", "were", "what", "when", "where", "which", "while", "who",
+	"whom", "why", "will", "with", "would",
+	"you", "your", "yours",
+}
+
+// negations are words that the matcher rewrites to "not" BEFORE stop-word
+// filtering; they are exported so the matcher and this package agree on the
+// inventory. "with" is a stop word, but "without" is a negation.
+var negations = []string{"without", "no", "non", "not"}
+
+var (
+	set    textutil.Set
+	negSet textutil.Set
+)
+
+func init() {
+	set = textutil.NewSet(list)
+	negSet = textutil.NewSet(negations)
+}
+
+// IsStop reports whether the (already lower-cased) word is a stop word.
+// Negation words are never stop words.
+func IsStop(w string) bool {
+	if negSet.Has(w) {
+		return false
+	}
+	return set.Has(w)
+}
+
+// IsNegation reports whether the word is a negation term that the matcher
+// should rewrite to the sentinel "not".
+func IsNegation(w string) bool { return negSet.Has(w) }
+
+// Filter returns the tokens with stop words removed. The input slice is
+// not modified.
+func Filter(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if !IsStop(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Count returns the number of stop words in the inventory (for tests).
+func Count() int { return len(list) }

@@ -1,0 +1,60 @@
+package stopwords
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIsStop(t *testing.T) {
+	for _, w := range []string{"the", "with", "of", "and", "or", "a"} {
+		if !IsStop(w) {
+			t.Errorf("IsStop(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"butter", "salt", "milk", "raw", "fresh"} {
+		if IsStop(w) {
+			t.Errorf("IsStop(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestNegationsAreNotStopWords(t *testing.T) {
+	// §II-B(f): "not" must survive filtering so that "butter not salt"
+	// matches "not salt butter".
+	for _, w := range []string{"not", "no", "without", "non"} {
+		if IsStop(w) {
+			t.Errorf("negation %q filtered as stop word", w)
+		}
+		if !IsNegation(w) {
+			t.Errorf("IsNegation(%q) = false, want true", w)
+		}
+	}
+	if IsNegation("with") {
+		t.Error("IsNegation(with) = true, want false")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	in := []string{"butter", "with", "the", "salt", "not", "added"}
+	want := []string{"butter", "salt", "not", "added"}
+	got := Filter(in)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Filter = %v, want %v", got, want)
+	}
+	// Input must be unmodified.
+	if in[1] != "with" {
+		t.Error("Filter mutated its input")
+	}
+}
+
+func TestFilterEmpty(t *testing.T) {
+	if got := Filter(nil); len(got) != 0 {
+		t.Errorf("Filter(nil) = %v, want empty", got)
+	}
+}
+
+func TestInventorySane(t *testing.T) {
+	if Count() < 80 {
+		t.Errorf("stop-word inventory suspiciously small: %d", Count())
+	}
+}

@@ -1,0 +1,226 @@
+// Package textutil provides the low-level text primitives the pipeline is
+// built on: tokenization of noisy ingredient phrases, case folding, unicode
+// fraction expansion, comma-term splitting for USDA-SR style food
+// descriptions, and set operations over word bags.
+//
+// Every stage of the paper's pipeline (NER §II-A, description matching
+// §II-B, unit matching §II-C) starts from these primitives, so they are
+// deliberately small, allocation-conscious and deterministic.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// fractionGlyphs maps unicode vulgar-fraction code points to their ASCII
+// "n/d" spelling. Recipe sites frequently emit ½ and ¼ glyphs; USDA-SR and
+// the quantity grammar both work on ASCII fractions.
+var fractionGlyphs = map[rune]string{
+	'½': "1/2", '⅓': "1/3", '⅔': "2/3", '¼': "1/4", '¾': "3/4",
+	'⅕': "1/5", '⅖': "2/5", '⅗': "3/5", '⅘': "4/5", '⅙': "1/6",
+	'⅚': "5/6", '⅐': "1/7", '⅛': "1/8", '⅜': "3/8", '⅝': "5/8",
+	'⅞': "7/8", '⅑': "1/9", '⅒': "1/10",
+}
+
+// ExpandFractions rewrites unicode vulgar-fraction glyphs as ASCII
+// fractions, inserting a space before the glyph when it directly follows a
+// digit so that "1½" becomes the mixed number "1 1/2".
+func ExpandFractions(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevDigit := false
+	for _, r := range s {
+		if frac, ok := fractionGlyphs[r]; ok {
+			if prevDigit {
+				b.WriteByte(' ')
+			}
+			b.WriteString(frac)
+			prevDigit = false
+			continue
+		}
+		b.WriteRune(r)
+		prevDigit = unicode.IsDigit(r)
+	}
+	return b.String()
+}
+
+// Tokenize splits a phrase into lower-cased tokens. Alphabetic runs,
+// numeric runs (including fractions "1/2", decimals "2.5" and ranges
+// "2-4"), and single punctuation marks each form one token. Hyphenated
+// words such as "hard-cooked" and "all-purpose" are kept together, matching
+// how the paper's Table I treats them as single STATE/NAME words.
+func Tokenize(s string) []string {
+	s = ExpandFractions(s)
+	var toks []string
+	rs := []rune(s)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == '/' ||
+				(rs[j] == '-' && j+1 < len(rs) && unicode.IsDigit(rs[j+1]))) {
+				j++
+			}
+			toks = append(toks, strings.ToLower(string(rs[i:j])))
+			i = j
+		case unicode.IsLetter(r):
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || rs[j] == '\'' ||
+				(rs[j] == '-' && j+1 < len(rs) && unicode.IsLetter(rs[j+1]))) {
+				j++
+			}
+			toks = append(toks, strings.ToLower(string(rs[i:j])))
+			i = j
+		case r == '%':
+			toks = append(toks, "%")
+			i++
+		default:
+			// Punctuation: emit commas (description-term separators) and
+			// drop everything else as noise, e.g. the quote marks in the
+			// USDA unit `pat (1" sq, 1/3" high)`.
+			if r == ',' || r == '(' || r == ')' {
+				toks = append(toks, string(r))
+			}
+			i++
+		}
+	}
+	return toks
+}
+
+// Words returns only the alphabetic tokens of a phrase (lower-cased),
+// dropping numbers and punctuation. This is the preprocessing base for
+// Jaccard word sets (§II-B(e)).
+func Words(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0:0]
+	for _, t := range toks {
+		if isWordToken(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func isWordToken(t string) bool {
+	if t == "" {
+		return false
+	}
+	for _, r := range t {
+		if !unicode.IsLetter(r) && r != '-' && r != '\'' {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitCommaTerms splits a USDA-SR food description into its
+// comma-separated terms, trimming whitespace and dropping empties:
+// "Butter, whipped, with salt" → ["Butter", "whipped", "with salt"].
+// The paper (§II-B(a)) assigns decreasing importance to later terms.
+func SplitCommaTerms(desc string) []string {
+	parts := strings.Split(desc, ",")
+	out := parts[:0:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Set is a bag-of-words set used by the Jaccard metrics.
+type Set map[string]struct{}
+
+// NewSet builds a Set from tokens.
+func NewSet(tokens []string) Set {
+	s := make(Set, len(tokens))
+	for _, t := range tokens {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set) Has(w string) bool { _, ok := s[w]; return ok }
+
+// Add inserts a word.
+func (s Set) Add(w string) { s[w] = struct{}{} }
+
+// Len returns |S|.
+func (s Set) Len() int { return len(s) }
+
+// IntersectLen returns |s ∩ t| without materializing the intersection.
+func (s Set) IntersectLen(t Set) int {
+	small, large := s, t
+	if len(t) < len(s) {
+		small, large = t, s
+	}
+	n := 0
+	for w := range small {
+		if _, ok := large[w]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// UnionLen returns |s ∪ t|.
+func (s Set) UnionLen(t Set) int {
+	return len(s) + len(t) - s.IntersectLen(t)
+}
+
+// Sorted returns the members in lexical order (for deterministic output).
+func (s Set) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for w := range s {
+		out = append(out, w)
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is an insertion sort: sets here are tiny (phrase-sized) and
+// this keeps the package dependency-free of sort for the hot path.
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Singularize-adjacent helpers used across packages.
+
+// EqualFold reports case-insensitive equality without allocating.
+func EqualFold(a, b string) bool { return strings.EqualFold(a, b) }
+
+// FirstWord returns the first alphabetic token of s, lower-cased, or "".
+// Used by unit cleaning (§II-C): `pat (1" sq, 1/3" high)` → "pat".
+func FirstWord(s string) string {
+	for _, t := range Tokenize(s) {
+		if isWordToken(t) {
+			return t
+		}
+	}
+	return ""
+}
+
+// StripNonAlpha removes every non-letter rune and lower-cases the result,
+// the "regex to obtain a cleaner version containing only alphabets" step of
+// §II-C.
+func StripNonAlpha(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
+}

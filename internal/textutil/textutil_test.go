@@ -1,0 +1,212 @@
+package textutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandFractions(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"½ cup sugar", "1/2 cup sugar"},
+		{"1½ cups flour", "1 1/2 cups flour"},
+		{"¾ tsp salt", "3/4 tsp salt"},
+		{"no fractions here", "no fractions here"},
+		{"⅛ teaspoon", "1/8 teaspoon"},
+		{"2⅓", "2 1/3"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := ExpandFractions(c.in); got != c.want {
+			t.Errorf("ExpandFractions(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"1/2 lb lean ground beef", []string{"1/2", "lb", "lean", "ground", "beef"}},
+		{"1 small onion , finely chopped", []string{"1", "small", "onion", ",", "finely", "chopped"}},
+		{"1 hard-cooked egg", []string{"1", "hard-cooked", "egg"}},
+		{"2 cups all-purpose flour", []string{"2", "cups", "all-purpose", "flour"}},
+		{"2-4 cloves garlic", []string{"2-4", "cloves", "garlic"}},
+		{"2 1/2 teaspoons", []string{"2", "1/2", "teaspoons"}},
+		{"Milk, reduced fat, fluid, 2% milkfat", []string{"milk", ",", "reduced", "fat", ",", "fluid", ",", "2", "%", "milkfat"}},
+		{`pat (1" sq, 1/3" high)`, []string{"pat", "(", "1", "sq", ",", "1/3", "high", ")"}},
+		{"", nil},
+		{"   ", nil},
+		{"500 g or 1 cup", []string{"500", "g", "or", "1", "cup"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	got := Tokenize("BUTTER, Salted")
+	want := []string{"butter", ",", "salted"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"1/2 lb lean ground beef", []string{"lb", "lean", "ground", "beef"}},
+		{"Butter, without salt", []string{"butter", "without", "salt"}},
+		{"2% milkfat", []string{"milkfat"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := Words(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitCommaTerms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Butter, whipped, with salt", []string{"Butter", "whipped", "with salt"}},
+		{"Cheese, cottage, creamed, large or small curd", []string{"Cheese", "cottage", "creamed", "large or small curd"}},
+		{"Egg", []string{"Egg"}},
+		{" , ,x, ", []string{"x"}},
+	}
+	for _, c := range cases {
+		if got := SplitCommaTerms(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitCommaTerms(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if got := SplitCommaTerms(""); len(got) != 0 {
+		t.Errorf("SplitCommaTerms(\"\") = %v, want empty", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet([]string{"butter", "not", "salt"})
+	b := NewSet([]string{"butter", "not", "salt"})
+	if got := a.IntersectLen(b); got != 3 {
+		t.Errorf("IntersectLen identical = %d, want 3", got)
+	}
+	if got := a.UnionLen(b); got != 3 {
+		t.Errorf("UnionLen identical = %d, want 3", got)
+	}
+	c := NewSet([]string{"milk", "shake"})
+	if got := a.IntersectLen(c); got != 0 {
+		t.Errorf("IntersectLen disjoint = %d, want 0", got)
+	}
+	if got := a.UnionLen(c); got != 5 {
+		t.Errorf("UnionLen disjoint = %d, want 5", got)
+	}
+	d := NewSet([]string{"salt", "pepper"})
+	if got := a.IntersectLen(d); got != 1 {
+		t.Errorf("IntersectLen overlap = %d, want 1", got)
+	}
+}
+
+func TestSetSorted(t *testing.T) {
+	s := NewSet([]string{"zebra", "apple", "mango"})
+	want := []string{"apple", "mango", "zebra"}
+	if got := s.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Sorted = %v, want %v", got, want)
+	}
+}
+
+func TestFirstWord(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`pat (1" sq, 1/3" high)`, "pat"},
+		{"1 tablespoon", "tablespoon"},
+		{"123", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := FirstWord(c.in); got != c.want {
+			t.Errorf("FirstWord(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStripNonAlpha(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tbsp.", "tbsp"},
+		{"fl oz", "floz"},
+		{"1cup", "cup"},
+		{"TaBleSpoon", "tablespoon"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := StripNonAlpha(c.in); got != c.want {
+			t.Errorf("StripNonAlpha(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Jaccard set-op invariants on arbitrary token lists.
+func TestSetOpsProperties(t *testing.T) {
+	f := func(aw, bw []string) bool {
+		a, b := NewSet(aw), NewSet(bw)
+		inter := a.IntersectLen(b)
+		union := a.UnionLen(b)
+		if inter != b.IntersectLen(a) || union != b.UnionLen(a) {
+			return false // symmetry
+		}
+		if inter > a.Len() || inter > b.Len() {
+			return false // intersection bounded by each set
+		}
+		if union < a.Len() || union < b.Len() {
+			return false // union dominates each set
+		}
+		return union == a.Len()+b.Len()-inter // inclusion–exclusion
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tokenize always lower-cases and never emits empty tokens.
+func TestTokenizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExpandFractions output contains no vulgar-fraction glyphs.
+func TestExpandFractionsProperty(t *testing.T) {
+	f := func(s string) bool {
+		out := ExpandFractions(s)
+		return !strings.ContainsAny(out, "½⅓⅔¼¾⅕⅖⅗⅘⅙⅚⅐⅛⅜⅝⅞⅑⅒")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	phrase := "1 1/2 cups all-purpose flour , sifted and divided"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(phrase)
+	}
+}

@@ -1,0 +1,56 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzParseQuantity(f *testing.F) {
+	for _, seed := range []string{
+		"2 1/2", "2-4", "1/2", "½", "one dozen", "3 heaping",
+		"", "abc", "-1", "1/0", "1e309", "999999999999999999999",
+		"2 to 4", "0.0001",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseQuantity(s)
+		if err != nil {
+			return
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("ParseQuantity(%q) = %v without error", s, v)
+		}
+	})
+}
+
+func FuzzParseServings(f *testing.F) {
+	for _, seed := range []string{
+		"4", "Serves 4", "4-6 servings", "makes 12 cookies", "", "a few",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, clean, ok := ParseServings(s)
+		if !ok && (n != 0 || clean) {
+			t.Fatalf("ParseServings(%q): ok=false but n=%d clean=%v", s, n, clean)
+		}
+		if ok && n < 1 {
+			t.Fatalf("ParseServings(%q) = %d < 1", s, n)
+		}
+	})
+}
+
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"tbsp", "cups", `pat (1" sq, 1/3" high)`, "", "123", "fl oz",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		name, known := Normalize(s)
+		if known && !IsKnown(name) {
+			t.Fatalf("Normalize(%q) returned unknown canonical %q", s, name)
+		}
+	})
+}

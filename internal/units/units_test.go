@@ -1,0 +1,323 @@
+package units
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6*math.Max(1, math.Abs(b)) }
+
+func TestClean(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`pat (1" sq, 1/3" high)`, "pat"},
+		{"cups", "cup"},
+		{"tablespoons", "tablespoon"},
+		{"Tbsp.", "tbsp"},
+		{"fl oz", "fl"},
+		{"", ""},
+		{"1 cup", "cup"},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAliases(t *testing.T) {
+	cases := []struct {
+		in, want string
+		known    bool
+	}{
+		{"tbsp", "tablespoon", true},
+		{"tablespoon", "tablespoon", true},
+		{"tablespoons", "tablespoon", true},
+		{"tbsps", "tablespoon", true},
+		{"tsp", "teaspoon", true},
+		{"lb", "pound", true},
+		{"lbs", "pound", true},
+		{"pound", "pound", true},
+		{"g", "gram", true},
+		{"grams", "gram", true},
+		{"oz", "ounce", true},
+		{"ml", "milliliter", true},
+		{"pkg", "package", true},
+		{"cloves", "clove", true},
+		{`pat (1" sq, 1/3" high)`, "pat", true},
+		{"small", "small", true},
+		{"frobnitz", "frobnitz", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, known := Normalize(c.in)
+		if got != c.want || known != c.known {
+			t.Errorf("Normalize(%q) = (%q,%v), want (%q,%v)", c.in, got, known, c.want, c.known)
+		}
+	}
+}
+
+func TestBookOfYieldsRatios(t *testing.T) {
+	// The conversions the paper quotes: "1 cup is equivalent to 16 tbsp
+	// and 48 tsp and so on".
+	cases := []struct {
+		from, to string
+		want     float64
+	}{
+		{"cup", "tablespoon", 16},
+		{"cup", "teaspoon", 48},
+		{"tablespoon", "teaspoon", 3},
+		{"pint", "cup", 2},
+		{"quart", "pint", 2},
+		{"gallon", "quart", 4},
+		{"pound", "ounce", 16},
+		{"kilogram", "gram", 1000},
+		{"liter", "milliliter", 1000},
+		{"cup", "fluid ounce", 8},
+	}
+	for _, c := range cases {
+		got, err := Ratio(c.from, c.to)
+		if err != nil {
+			t.Fatalf("Ratio(%s→%s): %v", c.from, c.to, err)
+		}
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("Ratio(%s→%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestConvertIncompatible(t *testing.T) {
+	if _, err := Convert(1, "cup", "gram"); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("cup→gram err = %v, want ErrIncompatible", err)
+	}
+	if _, err := Convert(1, "clove", "cup"); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("clove→cup err = %v, want ErrIncompatible", err)
+	}
+	if _, err := Convert(1, "small", "large"); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("small→large err = %v, want ErrIncompatible (no intrinsic measure)", err)
+	}
+	if _, err := Convert(1, "nope", "cup"); !errors.Is(err, ErrUnknownUnit) {
+		t.Errorf("unknown err = %v, want ErrUnknownUnit", err)
+	}
+}
+
+func TestEquivalentSizes(t *testing.T) {
+	// §II-C: small, medium, large considered equivalent.
+	for _, pair := range [][2]string{{"small", "medium"}, {"medium", "large"}, {"small", "large"}} {
+		if !Equivalent(pair[0], pair[1]) {
+			t.Errorf("Equivalent(%s,%s) = false, want true", pair[0], pair[1])
+		}
+	}
+	if Equivalent("cup", "tablespoon") {
+		t.Error("cup and tablespoon must not be equivalent")
+	}
+	if !Equivalent("cup", "cup") {
+		t.Error("identity equivalence failed")
+	}
+}
+
+func TestGramsAndMilliliters(t *testing.T) {
+	if g, err := Grams(2, "pound"); err != nil || !approx(g, 907.18474) {
+		t.Errorf("Grams(2, pound) = %v, %v", g, err)
+	}
+	if ml, err := Milliliters(0.5, "cup"); err != nil || !approx(ml, 118.29412) {
+		t.Errorf("Milliliters(0.5, cup) = %v, %v", ml, err)
+	}
+}
+
+func TestParseQuantity(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"2", 2},
+		{"2.5", 2.5},
+		{"1/2", 0.5},
+		{"2 1/2", 2.5}, // §II-C example
+		{"2-4", 3},     // §II-C example: averaged
+		{"1-2", 1.5},
+		{"2 to 4", 3},
+		{"1/2-3/4", 0.625},
+		{"½", 0.5},
+		{"1½", 1.5},
+		{"a", 1},
+		{"one", 1},
+		{"half", 0.5},
+		{"dozen", 12},
+		{"one dozen", 12},
+		{"two", 2},
+		{"3 heaping", 3},
+		{"500", 500},
+	}
+	for _, c := range cases {
+		got, err := ParseQuantity(c.in)
+		if err != nil {
+			t.Fatalf("ParseQuantity(%q): %v", c.in, err)
+		}
+		if !approx(got, c.want) {
+			t.Errorf("ParseQuantity(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseQuantityErrors(t *testing.T) {
+	for _, in := range []string{"", "   ", "abc", "/2", "x-y"} {
+		if _, err := ParseQuantity(in); err == nil {
+			t.Errorf("ParseQuantity(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseServings(t *testing.T) {
+	cases := []struct {
+		in    string
+		n     int
+		clean bool
+		ok    bool
+	}{
+		{"4", 4, true, true},
+		{"Serves 4", 4, true, true},
+		{"4 servings", 4, true, true},
+		{"serves 6.", 6, true, true},
+		{"4-6 servings", 5, false, true},
+		{"makes 12", 12, true, true},
+		{"Serves 2 to 4", 2, false, true},
+		{"several", 0, false, false},
+		{"", 0, false, false},
+		{"2.5 servings", 3, false, true},
+	}
+	for _, c := range cases {
+		n, clean, ok := ParseServings(c.in)
+		if n != c.n || clean != c.clean || ok != c.ok {
+			t.Errorf("ParseServings(%q) = (%d,%v,%v), want (%d,%v,%v)",
+				c.in, n, clean, ok, c.n, c.clean, c.ok)
+		}
+	}
+}
+
+func TestFindInPhrase(t *testing.T) {
+	name, idx, ok := FindInPhrase([]string{"500", "g", "or", "1", "cup", "flour"})
+	if !ok || name != "gram" || idx != 1 {
+		t.Errorf("FindInPhrase = (%q,%d,%v), want (gram,1,true)", name, idx, ok)
+	}
+	_, _, ok = FindInPhrase([]string{"nothing", "here"})
+	if ok {
+		t.Error("FindInPhrase found a unit in unitless phrase")
+	}
+}
+
+func TestCanonicalInventory(t *testing.T) {
+	vol := Canonical(Volume)
+	if len(vol) < 10 {
+		t.Errorf("volume inventory too small: %v", vol)
+	}
+	mass := Canonical(Mass)
+	if len(mass) != 5 {
+		t.Errorf("mass inventory = %v, want 5 units", mass)
+	}
+	sizes := Canonical(Size)
+	if len(sizes) != 3 {
+		t.Errorf("size inventory = %v, want small/medium/large", sizes)
+	}
+	all := AllCanonical()
+	if len(all) != len(vol)+len(mass)+len(sizes)+len(Canonical(Count)) {
+		t.Error("AllCanonical does not partition by kind")
+	}
+	// Sorted.
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("AllCanonical not sorted at %d: %q >= %q", i, all[i-1], all[i])
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		name string
+		want Kind
+	}{
+		{"cup", Volume}, {"gram", Mass}, {"small", Size}, {"clove", Count},
+	}
+	for _, c := range cases {
+		got, err := KindOf(c.name)
+		if err != nil || got != c.want {
+			t.Errorf("KindOf(%q) = (%v,%v), want %v", c.name, got, err, c.want)
+		}
+	}
+	if _, err := KindOf("blorp"); err == nil {
+		t.Error("KindOf(blorp) succeeded")
+	}
+}
+
+func TestMustKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustKind on unknown unit did not panic")
+		}
+	}()
+	MustKind("blorp")
+}
+
+// Property: conversion round-trips are the identity within the same kind.
+func TestConvertRoundTrip(t *testing.T) {
+	vols := Canonical(Volume)
+	f := func(amt float64, i, j uint8) bool {
+		if math.IsNaN(amt) || math.IsInf(amt, 0) || math.Abs(amt) > 1e12 {
+			return true
+		}
+		from := vols[int(i)%len(vols)]
+		to := vols[int(j)%len(vols)]
+		there, err1 := Convert(amt, from, to)
+		back, err2 := Convert(there, to, from)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(back-amt) <= 1e-9*math.Max(1, math.Abs(amt))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conversion is multiplicative — A→B→C equals A→C.
+func TestConvertTransitive(t *testing.T) {
+	vols := Canonical(Volume)
+	f := func(i, j, k uint8) bool {
+		a, b, c := vols[int(i)%len(vols)], vols[int(j)%len(vols)], vols[int(k)%len(vols)]
+		ab, _ := Ratio(a, b)
+		bc, _ := Ratio(b, c)
+		ac, _ := Ratio(a, c)
+		return math.Abs(ab*bc-ac) <= 1e-9*math.Max(1, ac)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParseQuantity never returns a negative quantity.
+func TestParseQuantityNonNegative(t *testing.T) {
+	f := func(s string) bool {
+		v, err := ParseQuantity(s)
+		return err != nil || v >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	ins := []string{"tbsp", "cups", `pat (1" sq, 1/3" high)`, "lbs", "teaspoons"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Normalize(ins[i%len(ins)])
+	}
+}
+
+func BenchmarkParseQuantity(b *testing.B) {
+	ins := []string{"2 1/2", "2-4", "1/2", "3", "½"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParseQuantity(ins[i%len(ins)]) //nolint:errcheck
+	}
+}

@@ -1,0 +1,126 @@
+package usda
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nutriprofile/internal/nutrition"
+)
+
+// Synthetic generates a synthetic USDA-style database of approximately n
+// foods for scale benchmarking. Descriptions follow the SR grammar — a
+// head term followed by modifier terms of decreasing importance — and
+// deliberately include near-duplicate variant families (raw/cooked,
+// with/without salt, whole/reduced-fat) so the matcher's collision
+// heuristics are exercised at scale exactly as they are by the real SR.
+//
+// The generator is deterministic for a given seed. When n exceeds the
+// number of distinct combinations, numbered brand terms extend the space.
+func Synthetic(n int, seed int64) *DB {
+	rng := rand.New(rand.NewSource(seed))
+
+	heads := []string{
+		"Beans", "Berries", "Bread", "Broth", "Cake", "Candies", "Cereal",
+		"Cheese", "Chicken", "Chips", "Cream", "Crackers", "Fish", "Flour",
+		"Fruit", "Grain", "Greens", "Juice", "Meat", "Milk", "Nuts", "Oil",
+		"Pasta", "Peppers", "Pork", "Potatoes", "Rice", "Salad", "Sauce",
+		"Sausage", "Seeds", "Snacks", "Soup", "Spices", "Squash", "Stew",
+		"Syrup", "Tea", "Turkey", "Yogurt",
+	}
+	variety := []string{
+		"alpha", "baja", "calico", "delta", "eastern", "farmhouse",
+		"golden", "harvest", "island", "jubilee", "keystone", "lakeside",
+		"meadow", "northern", "orchard", "prairie", "quarry", "ridge",
+		"sierra", "tundra", "upland", "valley", "western", "yellowstone",
+	}
+	states := []string{
+		"raw", "cooked", "canned", "dried", "frozen", "smoked", "pickled",
+		"roasted", "boiled", "baked", "fried", "steamed", "cured",
+	}
+	details := []string{
+		"with salt", "without salt", "with skin", "without skin",
+		"whole", "reduced fat", "low sodium", "unsweetened", "sweetened",
+		"enriched", "unenriched", "drained solids", "solids and liquids",
+		"ready to serve", "condensed", "extra firm", "small curd",
+		"large curd", "fortified with vitamin a and vitamin d",
+	}
+	unitPool := []struct {
+		unit  string
+		minG  float64
+		spanG float64
+	}{
+		{"cup", 80, 200}, {"tbsp", 5, 18}, {"tsp", 1, 6},
+		{"oz", 28.35, 0}, {"piece", 10, 150}, {"slice", 7, 40},
+		{"can", 200, 300}, {"package", 100, 400}, {"small", 30, 80},
+		{"medium", 60, 120}, {"large", 100, 180}, {"lb", 453.6, 0},
+	}
+
+	foods := make([]Food, 0, n)
+	seen := map[string]bool{}
+	ndb := 90000
+	for len(foods) < n {
+		head := heads[rng.Intn(len(heads))]
+		desc := head
+		// 0-1 variety term, 1 state term, 0-2 detail terms.
+		if rng.Intn(2) == 0 {
+			desc += ", " + variety[rng.Intn(len(variety))]
+		}
+		desc += ", " + states[rng.Intn(len(states))]
+		for d := rng.Intn(3); d > 0; d-- {
+			desc += ", " + details[rng.Intn(len(details))]
+		}
+		if seen[desc] {
+			// Extend the space with a brand term so n can exceed the
+			// raw combination count without duplicate descriptions.
+			desc += fmt.Sprintf(", brand %d", len(foods))
+		}
+		seen[desc] = true
+
+		prot := rng.Float64() * 30
+		fat := rng.Float64() * 50
+		carb := rng.Float64() * 70
+		prof := nutrition.Profile{
+			ProteinG: prot, FatG: fat, CarbsG: carb,
+			FiberG: rng.Float64() * 10, SugarG: rng.Float64() * 30,
+			CalciumMg: rng.Float64() * 500, IronMg: rng.Float64() * 10,
+			SodiumMg: rng.Float64() * 1000, VitCMg: rng.Float64() * 60,
+			CholMg: rng.Float64() * 100,
+		}
+		prof.EnergyKcal = prof.MacroEnergyKcal()
+
+		nw := 1 + rng.Intn(4)
+		weights := make([]Weight, 0, nw)
+		used := map[string]bool{}
+		for len(weights) < nw {
+			u := unitPool[rng.Intn(len(unitPool))]
+			if used[u.unit] {
+				continue
+			}
+			used[u.unit] = true
+			grams := u.minG
+			if u.spanG > 0 {
+				grams += rng.Float64() * u.spanG
+			}
+			weights = append(weights, Weight{
+				Seq: len(weights) + 1, Amount: 1, Unit: u.unit, Grams: grams,
+			})
+		}
+
+		ndb++
+		foods = append(foods, Food{NDB: ndb, Desc: desc, Per100g: prof, Weights: weights})
+	}
+	return MustNewDB(foods)
+}
+
+// Merged returns a database containing both the curated seed foods and
+// extra synthetic foods, for benchmarks that need SR-realistic scale
+// (the real SR has ~7,800 foods) while keeping the curated collision
+// families intact.
+func Merged(extraSynthetic int, seed int64) *DB {
+	base := Seed().Foods()
+	syn := Synthetic(extraSynthetic, seed).Foods()
+	all := make([]Food, 0, len(base)+len(syn))
+	all = append(all, base...)
+	all = append(all, syn...)
+	return MustNewDB(all)
+}

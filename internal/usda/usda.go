@@ -1,0 +1,282 @@
+// Package usda models a USDA Standard Reference (USDA-SR) style food
+// composition database — the reference the paper matches ingredient names
+// against (§II-B) and draws gram weights and nutrient values from (§II-C).
+//
+// The model mirrors the two SR tables the pipeline needs:
+//
+//   - food descriptions ("Butter, salted" — comma-separated terms with
+//     decreasing importance, Table II of the paper) with per-100 g
+//     nutrient profiles, and
+//   - per-unit gram weights (Table IV of the paper: "Butter,salted | 1.0 |
+//     pat | 5.0", including noisy unit strings like `pat (1" sq, 1/3"
+//     high)`).
+//
+// Row order is significant: §II-B(i) breaks residual matching ties by
+// taking the first match "because of the way the descriptions have been
+// indexed within USDA-SR Database". The embedded seed database (seed.go)
+// preserves SR's NDB-number ordering so those tie-breaks reproduce.
+package usda
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/units"
+)
+
+// Weight is one row of the SR weight table: Amount of Unit weighs Grams.
+// Unit holds the raw SR spelling, which can be noisy (`pat (1" sq, 1/3"
+// high)`); unit cleaning happens downstream, exactly as in the paper.
+type Weight struct {
+	Seq    int     // ordinal within the food's weight list
+	Amount float64 // e.g. 1.0
+	Unit   string  // raw unit text, e.g. "tbsp", `pat (1" sq, 1/3" high)`
+	Grams  float64 // weight of Amount×Unit in grams
+}
+
+// GramsPerOne returns the gram weight of exactly one Unit.
+func (w Weight) GramsPerOne() float64 {
+	if w.Amount == 0 {
+		return 0
+	}
+	return w.Grams / w.Amount
+}
+
+// Food is one SR food item.
+type Food struct {
+	// NDB is the SR identifier. Foods are kept sorted by NDB; the first
+	// food group digit pair encodes the SR category (01 dairy/egg,
+	// 02 spices, 09 fruits, 11 vegetables, …).
+	NDB int
+	// Desc is the comma-separated SR description, e.g.
+	// "Milk, reduced fat, fluid, 2% milkfat, with added vitamin A".
+	Desc string
+	// Per100g holds the nutrient profile of 100 g of this food.
+	Per100g nutrition.Profile
+	// Weights lists the available unit→gram conversions for this food.
+	Weights []Weight
+}
+
+// GramsForUnit returns the gram weight of one canonicalUnit of the food,
+// consulting only the food's own weight table (the "exact" tier of the
+// §II-C fallback chain). An exact unit-name row wins; failing that, any
+// Size row satisfies a Size request, per the paper's small=medium=large
+// equivalence ("All 3 were considered equivalent because of ambiguity
+// between sizes").
+func (f *Food) GramsForUnit(canonicalUnit string) (float64, bool) {
+	equivalent := -1
+	for i, w := range f.Weights {
+		name, known := units.Normalize(w.Unit)
+		if !known {
+			continue
+		}
+		if name == canonicalUnit {
+			return w.GramsPerOne(), true
+		}
+		if equivalent < 0 && units.Equivalent(name, canonicalUnit) {
+			equivalent = i
+		}
+	}
+	if equivalent >= 0 {
+		return f.Weights[equivalent].GramsPerOne(), true
+	}
+	return 0, false
+}
+
+// DB is an immutable, NDB-ordered food composition database.
+type DB struct {
+	foods []Food
+	byNDB map[int]int // NDB → index in foods
+}
+
+// Errors returned by NewDB validation.
+var (
+	ErrDuplicateNDB = errors.New("usda: duplicate NDB number")
+	ErrBadFood      = errors.New("usda: invalid food row")
+)
+
+// NewDB validates and indexes a list of foods. The input is sorted by NDB
+// so iteration order — and therefore §II-B(i) first-match tie-breaking —
+// is deterministic regardless of construction order.
+func NewDB(foods []Food) (*DB, error) {
+	sorted := make([]Food, len(foods))
+	copy(sorted, foods)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].NDB < sorted[j].NDB })
+
+	byNDB := make(map[int]int, len(sorted))
+	for i := range sorted {
+		f := &sorted[i]
+		if f.NDB <= 0 {
+			return nil, fmt.Errorf("%w: NDB %d", ErrBadFood, f.NDB)
+		}
+		if f.Desc == "" {
+			return nil, fmt.Errorf("%w: NDB %d has empty description", ErrBadFood, f.NDB)
+		}
+		if !f.Per100g.Valid() {
+			return nil, fmt.Errorf("%w: NDB %d has invalid nutrient profile", ErrBadFood, f.NDB)
+		}
+		for _, w := range f.Weights {
+			if w.Amount <= 0 || w.Grams <= 0 || w.Unit == "" {
+				return nil, fmt.Errorf("%w: NDB %d has invalid weight row %+v", ErrBadFood, f.NDB, w)
+			}
+		}
+		if _, dup := byNDB[f.NDB]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateNDB, f.NDB)
+		}
+		byNDB[f.NDB] = i
+	}
+	return &DB{foods: sorted, byNDB: byNDB}, nil
+}
+
+// MustNewDB panics on validation failure; for static seed tables.
+func MustNewDB(foods []Food) *DB {
+	db, err := NewDB(foods)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Len returns the number of foods.
+func (db *DB) Len() int { return len(db.foods) }
+
+// At returns the i-th food in NDB order.
+func (db *DB) At(i int) *Food { return &db.foods[i] }
+
+// ByNDB looks a food up by its NDB number.
+func (db *DB) ByNDB(ndb int) (*Food, bool) {
+	i, ok := db.byNDB[ndb]
+	if !ok {
+		return nil, false
+	}
+	return &db.foods[i], true
+}
+
+// Foods returns the NDB-ordered food slice. Callers must not modify it.
+func (db *DB) Foods() []Food { return db.foods }
+
+// csv column layout for the food table.
+const foodCols = 13 // ndb, desc, 11 nutrients
+
+// WriteCSV serializes the database as two concatenated CSV sections in one
+// stream: a food section and a weight section, separated by a blank
+// record. The format round-trips through ReadCSV.
+func (db *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range db.foods {
+		f := &db.foods[i]
+		p := f.Per100g
+		rec := []string{
+			strconv.Itoa(f.NDB), f.Desc,
+			ff(p.EnergyKcal), ff(p.ProteinG), ff(p.FatG), ff(p.CarbsG),
+			ff(p.FiberG), ff(p.SugarG), ff(p.CalciumMg), ff(p.IronMg),
+			ff(p.SodiumMg), ff(p.VitCMg), ff(p.CholMg),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("usda: writing food %d: %w", f.NDB, err)
+		}
+	}
+	if err := cw.Write([]string{"WEIGHTS"}); err != nil {
+		return err
+	}
+	for i := range db.foods {
+		f := &db.foods[i]
+		for _, wt := range f.Weights {
+			rec := []string{
+				strconv.Itoa(f.NDB), strconv.Itoa(wt.Seq),
+				ff(wt.Amount), wt.Unit, ff(wt.Grams),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("usda: writing weight for %d: %w", f.NDB, err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the WriteCSV format back into a DB.
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var foods []Food
+	index := map[int]int{}
+	inWeights := false
+	pf := func(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("usda: reading csv: %w", err)
+		}
+		if len(rec) == 1 && rec[0] == "WEIGHTS" {
+			inWeights = true
+			continue
+		}
+		if !inWeights {
+			if len(rec) != foodCols {
+				return nil, fmt.Errorf("usda: food row has %d fields, want %d", len(rec), foodCols)
+			}
+			ndb, err := strconv.Atoi(rec[0])
+			if err != nil {
+				return nil, fmt.Errorf("usda: bad NDB %q: %w", rec[0], err)
+			}
+			var vals [11]float64
+			for i := 0; i < 11; i++ {
+				if vals[i], err = pf(rec[2+i]); err != nil {
+					return nil, fmt.Errorf("usda: bad nutrient %q in NDB %d: %w", rec[2+i], ndb, err)
+				}
+			}
+			index[ndb] = len(foods)
+			foods = append(foods, Food{
+				NDB:  ndb,
+				Desc: rec[1],
+				Per100g: nutrition.Profile{
+					EnergyKcal: vals[0], ProteinG: vals[1], FatG: vals[2],
+					CarbsG: vals[3], FiberG: vals[4], SugarG: vals[5],
+					CalciumMg: vals[6], IronMg: vals[7], SodiumMg: vals[8],
+					VitCMg: vals[9], CholMg: vals[10],
+				},
+			})
+			continue
+		}
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("usda: weight row has %d fields, want 5", len(rec))
+		}
+		ndb, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("usda: bad weight NDB %q: %w", rec[0], err)
+		}
+		i, ok := index[ndb]
+		if !ok {
+			return nil, fmt.Errorf("usda: weight row references unknown NDB %d", ndb)
+		}
+		seq, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("usda: bad weight seq %q: %w", rec[1], err)
+		}
+		amt, err1 := pf(rec[2])
+		grams, err2 := pf(rec[4])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("usda: bad weight numbers in NDB %d", ndb)
+		}
+		foods[i].Weights = append(foods[i].Weights, Weight{
+			Seq: seq, Amount: amt, Unit: rec[3], Grams: grams,
+		})
+	}
+	return NewDB(foods)
+}
+
+// normalizeUnit resolves a raw weight-row unit string to its canonical
+// unit, re-exported for tests and tools that audit weight-table
+// resolvability.
+func normalizeUnit(raw string) (string, bool) { return units.Normalize(raw) }

@@ -1,0 +1,153 @@
+// Package yield implements the cooking-yield and nutrient-retention
+// correction the paper identifies as the main accuracy gap of the
+// raw-ingredient-sum approximation (§I, citing Bognár & Piekarski,
+// "Guidelines for recipe information and calculation of nutrient
+// composition of prepared foods"): "more accurate results would be
+// obtained if nutritional yield due to cooking is taken into account,
+// but there is no such consolidated resource for yield values".
+//
+// This package IS that consolidated resource, in miniature: per-method
+// weight-yield factors and per-nutrient retention factors in the style of
+// the Bognár tables and USDA's retention-factor releases. Values are
+// representative constants for composite dishes, not ingredient-specific
+// science — the experiment this package feeds (EXPERIMENTS.md, yield
+// ablation) only needs the correction's structure to quantify how much of
+// the calorie error it removes.
+package yield
+
+import "nutriprofile/internal/nutrition"
+
+// Method is a cooking method with known yield behaviour.
+type Method uint8
+
+// The cooking-method inventory. None means served raw/uncooked.
+const (
+	None Method = iota
+	Boiled
+	Steamed
+	Baked
+	Roasted
+	Fried
+	Grilled
+	Stewed
+	NMethods
+)
+
+var methodNames = [NMethods]string{
+	"none", "boiled", "steamed", "baked", "roasted", "fried", "grilled", "stewed",
+}
+
+// String returns the lower-case method name.
+func (m Method) String() string {
+	if m < NMethods {
+		return methodNames[m]
+	}
+	return "invalid"
+}
+
+// ParseMethod resolves a method name (as recipe titles/instructions spell
+// it); unknown names map to None.
+func ParseMethod(s string) Method {
+	for i, n := range methodNames {
+		if n == s {
+			return Method(i)
+		}
+	}
+	return None
+}
+
+// Factors holds one method's correction: the weight yield (cooked weight
+// as a fraction of raw weight — water loss pushes it below 1 for dry-heat
+// methods, water uptake above 1 for boiled grains) and per-nutrient-class
+// retention (the fraction of the raw nutrient surviving cooking).
+type Factors struct {
+	WeightYield float64
+	// Retention by nutrient class. Energy and macronutrients are largely
+	// conserved; heat- and water-sensitive micronutrients are not.
+	Energy   float64
+	Protein  float64
+	Fat      float64
+	Carbs    float64
+	Minerals float64 // calcium, iron, sodium
+	VitC     float64 // the canonical heat-labile vitamin
+}
+
+// table holds the per-method factors. Sources: Bognár & Piekarski (2000)
+// composite-dish guidance and USDA retention factor release 6,
+// generalized to dish level.
+var table = [NMethods]Factors{
+	None:    {WeightYield: 1.00, Energy: 1.00, Protein: 1.00, Fat: 1.00, Carbs: 1.00, Minerals: 1.00, VitC: 1.00},
+	Boiled:  {WeightYield: 0.95, Energy: 0.97, Protein: 0.98, Fat: 0.95, Carbs: 0.98, Minerals: 0.80, VitC: 0.50},
+	Steamed: {WeightYield: 0.97, Energy: 0.99, Protein: 0.99, Fat: 0.99, Carbs: 0.99, Minerals: 0.95, VitC: 0.75},
+	Baked:   {WeightYield: 0.88, Energy: 0.99, Protein: 0.98, Fat: 0.97, Carbs: 0.99, Minerals: 0.95, VitC: 0.65},
+	Roasted: {WeightYield: 0.80, Energy: 0.97, Protein: 0.97, Fat: 0.90, Carbs: 0.99, Minerals: 0.95, VitC: 0.60},
+	Fried:   {WeightYield: 0.85, Energy: 0.98, Protein: 0.97, Fat: 0.95, Carbs: 0.98, Minerals: 0.95, VitC: 0.55},
+	Grilled: {WeightYield: 0.78, Energy: 0.96, Protein: 0.97, Fat: 0.85, Carbs: 0.99, Minerals: 0.95, VitC: 0.60},
+	Stewed:  {WeightYield: 0.92, Energy: 0.98, Protein: 0.98, Fat: 0.96, Carbs: 0.98, Minerals: 0.85, VitC: 0.45},
+}
+
+// For returns the factors of a method.
+func For(m Method) Factors {
+	if m >= NMethods {
+		return table[None]
+	}
+	return table[m]
+}
+
+// Apply corrects a nutrient profile (per recipe or per serving) for a
+// cooking method: each nutrient is scaled by its retention factor. The
+// weight yield does NOT change nutrient totals (nutrients concentrate as
+// water leaves); it is exposed separately via For for callers that need
+// cooked weights.
+func Apply(p nutrition.Profile, m Method) nutrition.Profile {
+	f := For(m)
+	return nutrition.Profile{
+		EnergyKcal: p.EnergyKcal * f.Energy,
+		ProteinG:   p.ProteinG * f.Protein,
+		FatG:       p.FatG * f.Fat,
+		CarbsG:     p.CarbsG * f.Carbs,
+		FiberG:     p.FiberG * f.Carbs,
+		SugarG:     p.SugarG * f.Carbs,
+		CalciumMg:  p.CalciumMg * f.Minerals,
+		IronMg:     p.IronMg * f.Minerals,
+		SodiumMg:   p.SodiumMg * f.Minerals,
+		VitCMg:     p.VitCMg * f.VitC,
+		CholMg:     p.CholMg * f.Fat,
+	}
+}
+
+// InferFromTitle guesses the cooking method from a recipe title — the
+// lightweight signal available when instructions are absent ("Baked
+// Salmon", "Beef Stew"). Unknown titles return None.
+func InferFromTitle(title string) Method {
+	lower := []byte(title)
+	for i, c := range lower {
+		if c >= 'A' && c <= 'Z' {
+			lower[i] = c + 'a' - 'A'
+		}
+	}
+	t := string(lower)
+	for _, probe := range []struct {
+		word string
+		m    Method
+	}{
+		{"boil", Boiled}, {"steam", Steamed}, {"bake", Baked},
+		{"baked", Baked}, {"roast", Roasted}, {"fry", Fried},
+		{"fried", Fried}, {"grill", Grilled}, {"stew", Stewed},
+		{"soup", Boiled}, {"braise", Stewed}, {"casserole", Baked},
+	} {
+		if contains(t, probe.word) {
+			return probe.m
+		}
+	}
+	return None
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package yield
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nutriprofile/internal/nutrition"
+)
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{
+		None: "none", Boiled: "boiled", Fried: "fried", Stewed: "stewed",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Method(200).String() != "invalid" {
+		t.Error("out-of-range method should stringify as invalid")
+	}
+}
+
+func TestParseMethodRoundTrip(t *testing.T) {
+	for m := Method(0); m < NMethods; m++ {
+		if got := ParseMethod(m.String()); got != m {
+			t.Errorf("ParseMethod(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if ParseMethod("sous-vide") != None {
+		t.Error("unknown method should map to None")
+	}
+}
+
+func TestApplyNoneIsIdentity(t *testing.T) {
+	p := nutrition.Profile{EnergyKcal: 500, ProteinG: 20, FatG: 10, CarbsG: 60, VitCMg: 30}
+	if got := Apply(p, None); got != p {
+		t.Errorf("Apply(None) changed the profile: %+v", got)
+	}
+}
+
+func TestApplyReducesHeatLabiles(t *testing.T) {
+	p := nutrition.Profile{EnergyKcal: 500, VitCMg: 100, CalciumMg: 200}
+	for m := Boiled; m < NMethods; m++ {
+		got := Apply(p, m)
+		if got.VitCMg >= p.VitCMg {
+			t.Errorf("%v: vitamin C not reduced (%.1f)", m, got.VitCMg)
+		}
+		if got.EnergyKcal > p.EnergyKcal || got.EnergyKcal < 0.9*p.EnergyKcal {
+			t.Errorf("%v: energy retention %.1f out of the near-conserved band", m, got.EnergyKcal)
+		}
+	}
+	// Boiling leaches more minerals than steaming.
+	if Apply(p, Boiled).CalciumMg >= Apply(p, Steamed).CalciumMg {
+		t.Error("boiled mineral retention should be below steamed")
+	}
+}
+
+func TestFactorsSane(t *testing.T) {
+	for m := Method(0); m < NMethods; m++ {
+		f := For(m)
+		check := func(name string, v float64) {
+			if v <= 0 || v > 1.10 {
+				t.Errorf("%v: %s factor %v out of (0,1.1]", m, name, v)
+			}
+		}
+		check("weight", f.WeightYield)
+		check("energy", f.Energy)
+		check("protein", f.Protein)
+		check("fat", f.Fat)
+		check("carbs", f.Carbs)
+		check("minerals", f.Minerals)
+		check("vitC", f.VitC)
+	}
+	if For(Method(99)) != table[None] {
+		t.Error("out-of-range method must fall back to None factors")
+	}
+}
+
+func TestInferFromTitle(t *testing.T) {
+	cases := map[string]Method{
+		"Baked Salmon":           Baked,
+		"Beef Stew #12":          Stewed,
+		"Grilled Cheese":         Grilled,
+		"Thai Fried Rice":        Fried,
+		"Lentil Soup":            Boiled,
+		"Roasted Vegetables":     Roasted,
+		"Steamed Dumplings":      Steamed,
+		"Caesar Salad":           None,
+		"Chicken Casserole Bake": Baked,
+		"":                       None,
+	}
+	for title, want := range cases {
+		if got := InferFromTitle(title); got != want {
+			t.Errorf("InferFromTitle(%q) = %v, want %v", title, got, want)
+		}
+	}
+}
+
+// Property: Apply never increases any nutrient and preserves validity.
+func TestApplyMonotone(t *testing.T) {
+	f := func(kcal, prot, fat, carb, vc float64, raw uint8) bool {
+		clamp := func(v float64) float64 {
+			if v < 0 {
+				v = -v
+			}
+			for v > 1e6 {
+				v /= 1e6
+			}
+			return v
+		}
+		p := nutrition.Profile{
+			EnergyKcal: clamp(kcal), ProteinG: clamp(prot),
+			FatG: clamp(fat), CarbsG: clamp(carb), VitCMg: clamp(vc),
+		}
+		m := Method(raw % uint8(NMethods))
+		got := Apply(p, m)
+		if !got.Valid() {
+			return false
+		}
+		return got.EnergyKcal <= p.EnergyKcal+1e-9 &&
+			got.VitCMg <= p.VitCMg+1e-9 &&
+			got.ProteinG <= p.ProteinG+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
