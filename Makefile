@@ -2,9 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean
+.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke
 
 all: build vet test
+
+# Mirror of .github/workflows/ci.yml: what CI runs, runnable locally.
+ci: fmt-check build vet test race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Mirror of the nightly bench smoke: one iteration of every benchmark.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
 build:
 	$(GO) build ./...

@@ -14,6 +14,7 @@ import (
 	"nutriprofile/internal/experiments"
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/ner"
+	"nutriprofile/internal/recipedb"
 	"nutriprofile/internal/usda"
 )
 
@@ -276,5 +277,98 @@ func BenchmarkNER_RuleTagger(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ner.Extract(rt, "3/4 cup butter or 3/4 cup margarine , softened")
+	}
+}
+
+// batchCorpus flattens a generated corpus to its phrase list — the
+// repeated-ingredient workload (salt, butter, olive oil recur across
+// nearly every recipe) the memo cache and worker pool target.
+func batchCorpus(b *testing.B, recipes int) []string {
+	b.Helper()
+	corpus, err := recipedb.Generate(recipedb.Config{NumRecipes: recipes, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return corpus.Phrases()
+}
+
+// BenchmarkEstimateBatch measures the concurrent batch-estimation layer
+// against the sequential baseline on a repeated-ingredient corpus. The
+// acceptance bar (EXPERIMENTS.md) is ≥ 2× throughput for the cached
+// variants over `sequential`; `phrases/s` is the comparable metric.
+func BenchmarkEstimateBatch(b *testing.B) {
+	phrases := batchCorpus(b, 400)
+	variants := []struct {
+		name      string
+		cacheSize int
+		workers   int
+		warm      bool
+	}{
+		{"sequential", 0, 1, false},
+		{"parallel", 0, 0, false},
+		{"cached_warm", 1 << 15, 1, true},
+		{"parallel_cached_warm", 1 << 15, 0, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			e, err := core.New(usda.Seed(), nil, core.Options{CacheSize: v.cacheSize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.warm {
+				e.EstimateBatchWorkers(phrases, v.workers)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := e.EstimateBatchWorkers(phrases, v.workers)
+				if len(out) != len(phrases) {
+					b.Fatalf("len = %d, want %d", len(out), len(phrases))
+				}
+			}
+			b.ReportMetric(float64(len(phrases))*float64(b.N)/b.Elapsed().Seconds(), "phrases/s")
+		})
+	}
+}
+
+// BenchmarkEstimateRecipes measures the recipe-level pool end to end,
+// the cmd/experiments serving path.
+func BenchmarkEstimateRecipes(b *testing.B) {
+	corpus, err := recipedb.Generate(recipedb.Config{NumRecipes: 300, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]core.RecipeInput, len(corpus.Recipes))
+	for i := range corpus.Recipes {
+		rec := &corpus.Recipes[i]
+		phrases := make([]string, len(rec.Ingredients))
+		for j := range rec.Ingredients {
+			phrases[j] = rec.Ingredients[j].Phrase
+		}
+		inputs[i] = core.RecipeInput{Phrases: phrases, Servings: rec.Servings}
+	}
+	for _, v := range []struct {
+		name      string
+		cacheSize int
+		workers   int
+	}{
+		{"sequential", 0, 1},
+		{"parallel_cached", 1 << 15, 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			e, err := core.New(usda.Seed(), nil, core.Options{CacheSize: v.cacheSize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := e.EstimateRecipes(inputs, v.workers)
+				if len(out) != len(inputs) {
+					b.Fatalf("len = %d, want %d", len(out), len(inputs))
+				}
+			}
+			b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "recipes/s")
+		})
 	}
 }

@@ -22,6 +22,8 @@ func main() {
 		"comma-separated experiments: tableI,tableII,tableIII,tableIV,fig2,nerf1,matchrate,matchacc,calorie,ablation,units,yield,fao,typo")
 	recipes := flag.Int("recipes", 0, "corpus size (default 20000; paper scale is 118071)")
 	seed := flag.Int64("seed", 0, "corpus/training seed (default 42)")
+	workers := flag.Int("workers", 0, "estimation worker pool size (default: one per CPU; results are identical for any count)")
+	cache := flag.Int("cache", 0, "estimator memo-cache entries (default 32768; negative disables)")
 	flag.Parse()
 
 	p := experiments.Defaults()
@@ -31,6 +33,8 @@ func main() {
 	if *seed != 0 {
 		p.Seed = *seed
 	}
+	p.Workers = *workers
+	p.CacheSize = *cache
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {

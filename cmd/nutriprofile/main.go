@@ -6,11 +6,17 @@
 //	nutriprofile [-servings N] [-v] "2 cups flour" "1 cup sugar" ...
 //	echo "2 cups flour" | nutriprofile -servings 4
 //	nutriprofile -file recipe.txt -regional -yield
+//	nutriprofile -batch -workers 8 recipes/*.txt
 //
 // Each argument (or stdin line) is one ingredient phrase; -file parses a
 // full plain-text recipe (title, servings, ingredient and instruction
 // sections). The tool prints the per-ingredient mapping trace and the
 // total and per-serving nutrient profiles.
+//
+// -batch switches to corpus mode: every argument is a plain-text recipe
+// file, estimated concurrently on a -workers-sized pool sharing one
+// memoized estimator (-cache entries); one summary line per recipe is
+// printed in argument order.
 package main
 
 import (
@@ -33,10 +39,17 @@ func main() {
 	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
 	applyYield := flag.Bool("yield", false, "apply the cooking-yield correction (method from the recipe text)")
 	fuzzy := flag.Bool("fuzzy", false, "enable typo-tolerant matching")
+	batch := flag.Bool("batch", false, "treat every argument as a recipe file and estimate them concurrently")
+	workers := flag.Int("workers", 0, "worker pool size for -batch and ingredient estimation (default: one per CPU)")
+	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
 	flag.Parse()
 
 	phrases := flag.Args()
 	method := yield.None
+	if *batch {
+		runBatch(flag.Args(), *regional, *fuzzy, *applyYield, *verbose, *workers, *cacheSize)
+		return
+	}
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
@@ -74,19 +87,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	db := usda.Seed()
-	if *regional {
-		db = usda.WithRegional()
-	}
-	e, err := core.New(db, nil, core.Options{FuzzyMatch: *fuzzy})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
-		os.Exit(1)
-	}
+	e := newEstimator(*regional, *fuzzy, *cacheSize)
 	if !*applyYield {
 		method = yield.None
 	}
-	res, err := e.EstimateRecipeCooked(phrases, *servings, method)
+	res, err := e.EstimateRecipeCookedConcurrent(phrases, *servings, method, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
 		os.Exit(1)
@@ -121,5 +126,88 @@ func main() {
 	fmt.Printf("\nTotal (%d serving(s)):\n%s", *servings, res.Total.Table())
 	if *servings > 1 {
 		fmt.Printf("\nPer serving:\n%s", res.PerServing.Table())
+	}
+}
+
+// newEstimator builds the shared estimator from the CLI switches.
+func newEstimator(regional, fuzzy bool, cacheSize int) *core.Estimator {
+	db := usda.Seed()
+	if regional {
+		db = usda.WithRegional()
+	}
+	e, err := core.New(db, nil, core.Options{FuzzyMatch: fuzzy, CacheSize: cacheSize})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return e
+}
+
+// runBatch is corpus mode: each arg is a recipe file; all recipes are
+// estimated concurrently on one worker pool sharing one memoized
+// estimator, and summarized one line per recipe in argument order.
+func runBatch(files []string, regional, fuzzy, applyYield, verbose bool, workers, cacheSize int) {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "nutriprofile: -batch requires recipe-file arguments")
+		os.Exit(2)
+	}
+	type meta struct {
+		title    string
+		parseErr error
+	}
+	inputs := make([]core.RecipeInput, len(files))
+	metas := make([]meta, len(files))
+	for i, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			metas[i].parseErr = err
+			continue
+		}
+		rec, err := recipedb.ParseText(f)
+		f.Close()
+		if err != nil {
+			metas[i].parseErr = err
+			continue
+		}
+		servings := rec.Servings
+		if servings <= 0 {
+			servings = 1
+		}
+		method := yield.None
+		if applyYield {
+			method = rec.Method
+		}
+		metas[i].title = rec.Title
+		inputs[i] = core.RecipeInput{Phrases: rec.Phrases(), Servings: servings, Method: method}
+	}
+
+	e := newEstimator(regional, fuzzy, cacheSize)
+	outcomes := e.EstimateRecipes(inputs, workers)
+
+	tb := report.NewTable("Recipe", "Title", "Mapped", "Total kcal", "kcal/serving")
+	failures := 0
+	for i, out := range outcomes {
+		switch {
+		case metas[i].parseErr != nil:
+			failures++
+			fmt.Fprintf(os.Stderr, "nutriprofile: %s: %v\n", files[i], metas[i].parseErr)
+		case out.Err != nil:
+			failures++
+			fmt.Fprintf(os.Stderr, "nutriprofile: %s: %v\n", files[i], out.Err)
+		default:
+			tb.AddRow(files[i], metas[i].title, report.Pct(out.Result.MappedFraction),
+				report.F2(out.Result.Total.EnergyKcal), report.F2(out.Result.PerServing.EnergyKcal))
+		}
+	}
+	fmt.Print(tb.String())
+	if verbose {
+		ps, ms := e.CacheStats()
+		fmt.Printf("\nphrase cache: %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
+			ps.Hits, ps.Misses, 100*ps.HitRate(), ps.Evictions)
+		fmt.Printf("match cache:  %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
+			ms.Hits, ms.Misses, 100*ms.HitRate(), ms.Evictions)
+	}
+	if failures > 0 {
+		os.Exit(1)
 	}
 }

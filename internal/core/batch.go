@@ -1,0 +1,126 @@
+package core
+
+// Concurrent batch estimation. A single Estimator is shared by a
+// bounded worker pool; output is always input-ordered and byte-identical
+// to the sequential path, so callers can parallelize corpus-scale runs
+// without giving up determinism.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nutriprofile/internal/memo"
+	"nutriprofile/internal/yield"
+)
+
+// normWorkers clamps a requested worker count: <= 0 selects
+// GOMAXPROCS, and the pool never exceeds the number of work items.
+func normWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachIndex runs fn(i) for i in [0, n) on a bounded worker pool.
+// Indices are handed out by an atomic counter, so the pool stays busy
+// even when per-item cost is skewed (cache hits vs full matches).
+func (e *Estimator) forEachIndex(n, workers int, fn func(int)) {
+	workers = normWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EstimateBatch estimates every phrase concurrently with one worker per
+// CPU, returning results in input order. Equivalent to (but faster
+// than) calling EstimateIngredient in a loop.
+func (e *Estimator) EstimateBatch(phrases []string) []IngredientResult {
+	return e.EstimateBatchWorkers(phrases, 0)
+}
+
+// EstimateBatchWorkers is EstimateBatch with an explicit worker count:
+// workers <= 0 selects GOMAXPROCS, workers == 1 runs sequentially on
+// the calling goroutine. The pool is bounded — at most `workers`
+// goroutines exist at any time regardless of batch size.
+func (e *Estimator) EstimateBatchWorkers(phrases []string, workers int) []IngredientResult {
+	if len(phrases) == 0 {
+		return nil
+	}
+	out := make([]IngredientResult, len(phrases))
+	e.forEachIndex(len(phrases), workers, func(i int) {
+		out[i] = e.EstimateIngredient(phrases[i])
+	})
+	return out
+}
+
+// RecipeInput is one recipe for batch estimation.
+type RecipeInput struct {
+	Phrases  []string
+	Servings int
+	// Method, when not yield.None, applies the cooking-yield correction
+	// to the recipe's totals (as EstimateRecipeCooked does).
+	Method yield.Method
+}
+
+// RecipeOutcome pairs a recipe's result with its per-recipe validation
+// error, so one malformed recipe (no ingredients, bad servings) does
+// not abort a corpus-scale run.
+type RecipeOutcome struct {
+	Result RecipeResult
+	Err    error
+}
+
+// EstimateRecipes estimates a corpus of recipes on a bounded worker
+// pool sharing this Estimator. Outcomes are input-ordered and
+// byte-identical to calling EstimateRecipeCooked sequentially; workers
+// <= 0 selects GOMAXPROCS.
+func (e *Estimator) EstimateRecipes(recipes []RecipeInput, workers int) []RecipeOutcome {
+	if len(recipes) == 0 {
+		return nil
+	}
+	out := make([]RecipeOutcome, len(recipes))
+	e.forEachIndex(len(recipes), workers, func(i int) {
+		r := recipes[i]
+		out[i].Result, out[i].Err = e.EstimateRecipeCooked(r.Phrases, r.Servings, r.Method)
+	})
+	return out
+}
+
+// CacheStats reports the phrase- and match-level memoization counters.
+// Both are zero-valued when Options.CacheSize == 0.
+func (e *Estimator) CacheStats() (phrase, match memo.Stats) {
+	if e.phraseCache != nil {
+		phrase = e.phraseCache.Stats()
+	}
+	if e.matchCache != nil {
+		match = e.matchCache.Stats()
+	}
+	return phrase, match
+}

@@ -8,8 +8,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 
 	"nutriprofile/internal/match"
+	"nutriprofile/internal/memo"
 	"nutriprofile/internal/ner"
 	"nutriprofile/internal/nutrition"
 	"nutriprofile/internal/textutil"
@@ -93,6 +96,15 @@ type Options struct {
 	// no description are retried with out-of-vocabulary words corrected
 	// to their closest vocabulary word (extension; see match.MatchFuzzy).
 	FuzzyMatch bool
+	// CacheSize bounds the estimator's two memoization levels: a
+	// phrase-level cache (normalized phrase → full IngredientResult) and
+	// a match-level cache (match.Query → description match). Estimation
+	// is a pure function of phrase + options + frozen unit statistics,
+	// so memoization never changes results; it only skips recomputation
+	// for the "salt"/"olive oil" phrases that dominate real corpora.
+	// 0 (the zero value) disables both caches. ObserveUnits invalidates
+	// the phrase cache, since it changes the most-frequent-unit state.
+	CacheSize int
 	// Ablation switches.
 	DisableConversion   bool
 	DisablePhraseSearch bool
@@ -107,16 +119,35 @@ func (o *Options) fill() {
 	}
 }
 
-// Estimator is the end-to-end pipeline. Construct with New; safe for
-// concurrent use once unit statistics are frozen.
+// Estimator is the end-to-end pipeline. Construct with New. A single
+// Estimator is safe for concurrent use by any number of goroutines
+// (EstimateIngredient, EstimateRecipe, EstimateBatch, EstimateRecipes,
+// and even ObserveUnits may be called concurrently), provided the
+// Tagger is itself concurrency-safe — the built-in RuleTagger and a
+// trained ner.Model both are, since Tag only reads model state.
 type Estimator struct {
 	db      *usda.DB
 	matcher *match.Matcher
 	tagger  ner.Tagger
 	opts    Options
+
+	// statsMu guards unitStats: ObserveUnits writes under the write
+	// lock, the most-frequent-unit fallback reads under the read lock.
+	statsMu sync.RWMutex
 	// unitStats maps NDB → canonical unit → observation count, feeding
 	// the most-frequent-unit fallback. Populated by ObserveUnits.
 	unitStats map[int]map[string]int
+
+	// Memoization (nil when Options.CacheSize == 0). Cached values are
+	// shared across goroutines and treated as read-only.
+	phraseCache *memo.Cache[IngredientResult]
+	matchCache  *memo.Cache[matchHit]
+}
+
+// matchHit is the memoized outcome of one description-match query.
+type matchHit struct {
+	res match.Result
+	ok  bool
 }
 
 // New builds an Estimator over a composition table with the given tagger.
@@ -129,13 +160,18 @@ func New(db *usda.DB, tagger ner.Tagger, opts Options) (*Estimator, error) {
 		tagger = ner.RuleTagger{}
 	}
 	opts.fill()
-	return &Estimator{
+	e := &Estimator{
 		db:        db,
 		matcher:   match.NewDefault(db),
 		tagger:    tagger,
 		opts:      opts,
 		unitStats: map[int]map[string]int{},
-	}, nil
+	}
+	if opts.CacheSize > 0 {
+		e.phraseCache = memo.New[IngredientResult](opts.CacheSize)
+		e.matchCache = memo.New[matchHit](opts.CacheSize)
+	}
+	return e, nil
 }
 
 // NewDefault builds an Estimator with the rule tagger and default options
@@ -182,8 +218,59 @@ type RecipeResult struct {
 	MappedFraction float64
 }
 
-// EstimateIngredient runs the full pipeline over one phrase.
+// EstimateIngredient runs the full pipeline over one phrase. With
+// Options.CacheSize > 0 the result is memoized under the normalized
+// (tokenized) phrase: two phrases with identical token streams share
+// one cached computation. Returned results must be treated as
+// read-only when caching is enabled — the Match.Matched slice is
+// shared with every other caller that hits the same entry.
 func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
+	if e.phraseCache == nil {
+		return e.estimateIngredient(phrase)
+	}
+	key := phraseKey(phrase)
+	if r, ok := e.phraseCache.Get(key); ok {
+		// The cached computation is keyed on the token stream; only the
+		// verbatim Phrase field can differ.
+		r.Phrase = phrase
+		return r
+	}
+	r := e.estimateIngredient(phrase)
+	e.phraseCache.Put(key, r)
+	return r
+}
+
+// phraseKey normalizes a phrase to its token stream, the exact input
+// every downstream stage (NER, matching, unit search) consumes.
+func phraseKey(phrase string) string {
+	return strings.Join(textutil.Tokenize(phrase), " ")
+}
+
+// matchQuery runs the configured description match, memoized when the
+// match cache is enabled. Matching reads only the immutable Matcher, so
+// entries never need invalidation.
+func (e *Estimator) matchQuery(q match.Query) (match.Result, bool) {
+	if e.matchCache == nil {
+		return e.rawMatch(q)
+	}
+	key := q.Name + "\x1f" + q.State + "\x1f" + q.Temp + "\x1f" + q.DryFresh
+	if h, ok := e.matchCache.Get(key); ok {
+		return h.res, h.ok
+	}
+	res, ok := e.rawMatch(q)
+	e.matchCache.Put(key, matchHit{res: res, ok: ok})
+	return res, ok
+}
+
+func (e *Estimator) rawMatch(q match.Query) (match.Result, bool) {
+	if e.opts.FuzzyMatch {
+		return e.matcher.MatchFuzzy(q)
+	}
+	return e.matcher.Match(q)
+}
+
+// estimateIngredient is the uncached pipeline.
+func (e *Estimator) estimateIngredient(phrase string) IngredientResult {
 	res := IngredientResult{Phrase: phrase}
 	res.Extraction = ner.Extract(e.tagger, phrase)
 	if res.Extraction.Name == "" {
@@ -196,13 +283,7 @@ func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 		Temp:     res.Extraction.Temp,
 		DryFresh: res.Extraction.DryFresh,
 	}
-	var m match.Result
-	var ok bool
-	if e.opts.FuzzyMatch {
-		m, ok = e.matcher.MatchFuzzy(q)
-	} else {
-		m, ok = e.matcher.Match(q)
-	}
+	m, ok := e.matchQuery(q)
 	if !ok {
 		return res
 	}
@@ -374,6 +455,8 @@ func (e *Estimator) repair(food *usda.Food, tokens []string) (grams float64, uni
 
 // mostFrequentUnit returns the modal observed unit for a food, or "".
 func (e *Estimator) mostFrequentUnit(ndb int) string {
+	e.statsMu.RLock()
+	defer e.statsMu.RUnlock()
 	counts := e.unitStats[ndb]
 	best, bestN := "", 0
 	for u, n := range counts {
@@ -387,45 +470,84 @@ func (e *Estimator) mostFrequentUnit(ndb int) string {
 // ObserveUnits performs the corpus statistics pass behind the
 // most-frequent-unit fallback: phrases whose units resolve directly
 // (NER/size/search) contribute counts keyed by matched food.
+//
+// It is safe to call concurrently with estimation (and with itself):
+// the pass runs in two phases — estimate every phrase (in parallel,
+// bypassing the phrase cache), then apply the counts under the write
+// lock. The contributing set is identical to a sequential pass because
+// the NER/size/search fallbacks never read the frequency map. After the
+// counts land, the phrase cache is purged, since entries resolved via
+// the most-frequent-unit fallback may now be stale.
 func (e *Estimator) ObserveUnits(phrases []string) {
-	for _, p := range phrases {
-		r := e.EstimateIngredient(p)
+	type obs struct {
+		ndb  int
+		unit string
+	}
+	observations := make([]obs, len(phrases))
+	e.forEachIndex(len(phrases), 0, func(i int) {
+		// Bypass the phrase cache: a cached most-frequent-unit result
+		// never contributes, and observation must not pollute the cache
+		// with entries that this very pass is about to invalidate.
+		r := e.estimateIngredient(phrases[i])
 		if !r.Matched || r.Unit == "" {
-			continue
+			return
 		}
 		switch r.UnitOrigin {
 		case UnitNER, UnitSize, UnitSearched:
-			m := e.unitStats[r.Match.NDB]
-			if m == nil {
-				m = map[string]int{}
-				e.unitStats[r.Match.NDB] = m
-			}
-			m[r.Unit]++
+			observations[i] = obs{ndb: r.Match.NDB, unit: r.Unit}
 		}
+	})
+
+	e.statsMu.Lock()
+	for _, o := range observations {
+		if o.unit == "" {
+			continue
+		}
+		m := e.unitStats[o.ndb]
+		if m == nil {
+			m = map[string]int{}
+			e.unitStats[o.ndb] = m
+		}
+		m[o.unit]++
+	}
+	e.statsMu.Unlock()
+
+	if e.phraseCache != nil {
+		e.phraseCache.Purge()
 	}
 }
 
 // EstimateRecipe runs the pipeline over a recipe's ingredient section.
 func (e *Estimator) EstimateRecipe(phrases []string, servings int) (RecipeResult, error) {
+	return e.EstimateRecipeConcurrent(phrases, servings, 1)
+}
+
+// EstimateRecipeConcurrent is EstimateRecipe with the ingredient lines
+// estimated by a worker pool (see EstimateBatchWorkers for worker
+// semantics). The result is identical to the sequential path.
+func (e *Estimator) EstimateRecipeConcurrent(phrases []string, servings, workers int) (RecipeResult, error) {
 	if len(phrases) == 0 {
 		return RecipeResult{}, errors.New("core: recipe has no ingredients")
 	}
 	if servings <= 0 {
 		return RecipeResult{}, fmt.Errorf("core: invalid servings %d", servings)
 	}
-	out := RecipeResult{Servings: servings}
+	return aggregateRecipe(e.EstimateBatchWorkers(phrases, workers), servings), nil
+}
+
+// aggregateRecipe sums per-ingredient results into a RecipeResult.
+func aggregateRecipe(ingredients []IngredientResult, servings int) RecipeResult {
+	out := RecipeResult{Servings: servings, Ingredients: ingredients}
 	mapped := 0
-	for _, p := range phrases {
-		r := e.EstimateIngredient(p)
-		out.Ingredients = append(out.Ingredients, r)
-		out.Total = out.Total.Add(r.Profile)
-		if r.Mapped {
+	for i := range ingredients {
+		out.Total = out.Total.Add(ingredients[i].Profile)
+		if ingredients[i].Mapped {
 			mapped++
 		}
 	}
 	out.PerServing = out.Total.Scale(1 / float64(servings))
-	out.MappedFraction = float64(mapped) / float64(len(phrases))
-	return out, nil
+	out.MappedFraction = float64(mapped) / float64(len(ingredients))
+	return out
 }
 
 // EstimateRecipeCooked runs EstimateRecipe and then applies the
@@ -434,7 +556,13 @@ func (e *Estimator) EstimateRecipe(phrases []string, servings int) (RecipeResult
 // raw-ingredient-sum approximation. With yield.None it is identical to
 // EstimateRecipe.
 func (e *Estimator) EstimateRecipeCooked(phrases []string, servings int, m yield.Method) (RecipeResult, error) {
-	out, err := e.EstimateRecipe(phrases, servings)
+	return e.EstimateRecipeCookedConcurrent(phrases, servings, m, 1)
+}
+
+// EstimateRecipeCookedConcurrent is EstimateRecipeCooked with the
+// ingredient lines estimated by a worker pool (see EstimateBatchWorkers).
+func (e *Estimator) EstimateRecipeCookedConcurrent(phrases []string, servings int, m yield.Method, workers int) (RecipeResult, error) {
+	out, err := e.EstimateRecipeConcurrent(phrases, servings, workers)
 	if err != nil {
 		return out, err
 	}

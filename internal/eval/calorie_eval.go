@@ -59,27 +59,34 @@ type MappingResult struct {
 	MeanMapped  float64
 }
 
-// PercentMapping runs the estimator over a corpus and histograms each
-// recipe's mapped-ingredient fraction.
-func PercentMapping(e *core.Estimator, corpus *recipedb.Corpus) (MappingResult, error) {
+// PercentMapping runs the estimator over a corpus on a worker pool
+// (workers <= 0 selects GOMAXPROCS) and histograms each recipe's
+// mapped-ingredient fraction. The result is identical for any worker
+// count: estimation is parallel, aggregation stays in corpus order.
+func PercentMapping(e *core.Estimator, corpus *recipedb.Corpus, workers int) (MappingResult, error) {
 	if corpus.Len() == 0 {
 		return MappingResult{}, errors.New("eval: empty corpus")
 	}
-	var res MappingResult
-	sum := 0.0
+	inputs := make([]core.RecipeInput, corpus.Len())
 	for i := range corpus.Recipes {
 		rec := &corpus.Recipes[i]
 		phrases := make([]string, len(rec.Ingredients))
 		for j := range rec.Ingredients {
 			phrases[j] = rec.Ingredients[j].Phrase
 		}
-		rr, err := e.EstimateRecipe(phrases, rec.Servings)
-		if err != nil {
-			return MappingResult{}, err
+		inputs[i] = core.RecipeInput{Phrases: phrases, Servings: rec.Servings}
+	}
+	outcomes := e.EstimateRecipes(inputs, workers)
+
+	var res MappingResult
+	sum := 0.0
+	for _, out := range outcomes {
+		if out.Err != nil {
+			return MappingResult{}, out.Err
 		}
-		res.Hist.Observe(rr.MappedFraction)
-		sum += rr.MappedFraction
-		if rr.MappedFraction == 1 {
+		res.Hist.Observe(out.Result.MappedFraction)
+		sum += out.Result.MappedFraction
+		if out.Result.MappedFraction == 1 {
 			res.FullyMapped++
 		}
 	}
@@ -104,6 +111,11 @@ type CalorieConfig struct {
 	// published servings text parses to a single unambiguous integer —
 	// the paper's "had clean, well-defined servings" criterion.
 	RequireCleanServings bool
+	// Workers sizes the estimation worker pool (<= 0: GOMAXPROCS).
+	// Scoring is sequential in corpus order regardless, so the noise
+	// stream — and therefore every reported number — is identical for
+	// any worker count.
+	Workers int
 }
 
 // CalorieResult is the §III error figure: the paper reports an average
@@ -139,12 +151,13 @@ func CalorieError(e *core.Estimator, corpus *recipedb.Corpus, cfg CalorieConfig)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	var errs []float64
-	var res CalorieResult
+	// Phase 1 — estimate every recipe on the worker pool. The servings
+	// the pipeline sees come from the published text, exactly as they
+	// would from a scraped site.
+	inputs := make([]core.RecipeInput, corpus.Len())
+	cleanServ := make([]bool, corpus.Len())
 	for i := range corpus.Recipes {
 		rec := &corpus.Recipes[i]
-		// The servings the pipeline sees come from the published text,
-		// exactly as they would from a scraped site.
 		servings, clean, ok := units.ParseServings(rec.ServingsText)
 		if !ok {
 			servings, clean = rec.Servings, true
@@ -153,7 +166,19 @@ func CalorieError(e *core.Estimator, corpus *recipedb.Corpus, cfg CalorieConfig)
 		for j := range rec.Ingredients {
 			phrases[j] = rec.Ingredients[j].Phrase
 		}
-		rr, err := e.EstimateRecipe(phrases, servings)
+		inputs[i] = core.RecipeInput{Phrases: phrases, Servings: servings}
+		cleanServ[i] = clean
+	}
+	outcomes := e.EstimateRecipes(inputs, cfg.Workers)
+
+	// Phase 2 — score sequentially in corpus order, so the noise stream
+	// is independent of the worker count.
+	var errs []float64
+	var res CalorieResult
+	for i := range corpus.Recipes {
+		rec := &corpus.Recipes[i]
+		clean := cleanServ[i]
+		rr, err := outcomes[i].Result, outcomes[i].Err
 		if err != nil {
 			return CalorieResult{}, err
 		}

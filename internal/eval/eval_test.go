@@ -264,9 +264,17 @@ func TestHistogram(t *testing.T) {
 func TestPercentMapping(t *testing.T) {
 	c := corpus(t, 150, 8)
 	e := core.NewDefault()
-	res, err := PercentMapping(e, c)
+	res, err := PercentMapping(e, c, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The worker count must not change the result.
+	seq, err := PercentMapping(e, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != res {
+		t.Fatalf("parallel mapping %+v ≠ sequential %+v", res, seq)
 	}
 	if res.Hist.Total != c.Len() {
 		t.Fatalf("histogram total %d ≠ corpus %d", res.Hist.Total, c.Len())
@@ -291,6 +299,15 @@ func TestCalorieError(t *testing.T) {
 	}
 	if res.Recipes == 0 {
 		t.Fatal("no recipes selected")
+	}
+	// The noise stream is drawn in corpus order after the parallel
+	// estimation phase, so every figure must be worker-count invariant.
+	seq, err := CalorieError(e, c, CalorieConfig{Seed: 1, RequireFullMapping: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != res {
+		t.Fatalf("parallel calorie result ≠ sequential:\n par: %+v\n seq: %+v", res, seq)
 	}
 	if res.MeanAbsError < 0 || math.IsNaN(res.MeanAbsError) {
 		t.Fatalf("bad error %v", res.MeanAbsError)

@@ -32,6 +32,14 @@ type Params struct {
 	TrainPhrases, TestPhrases int
 	// Folds is the cross-validation fold count (paper: 5).
 	Folds int
+	// Workers sizes the estimation worker pools for the corpus-scale
+	// experiments (0: one worker per CPU). Results are identical for
+	// any worker count; this only changes wall-clock time.
+	Workers int
+	// CacheSize bounds the estimator memo caches for corpus runs
+	// (0: the default 1<<15 entries; negative: caching disabled).
+	// Memoization is result-invariant — see DESIGN.md.
+	CacheSize int
 }
 
 // Defaults returns the standard parameterization.
@@ -60,6 +68,20 @@ func (p *Params) fill() {
 	if p.Folds <= 1 {
 		p.Folds = d.Folds
 	}
+	if p.CacheSize == 0 {
+		p.CacheSize = 1 << 15
+	}
+}
+
+// newEstimator builds the estimator the corpus experiments share: the
+// rule tagger over db, with the params' memo-cache configuration. The
+// repeated-ingredient structure of recipe corpora makes the cache the
+// difference between re-scoring "salt" thousands of times and once.
+func newEstimator(p Params, db *usda.DB, opts core.Options) (*core.Estimator, error) {
+	if p.CacheSize > 0 {
+		opts.CacheSize = p.CacheSize
+	}
+	return core.New(db, nil, opts)
 }
 
 // Corpus generates (and caches per-params, when used through a Suite) the
@@ -328,9 +350,12 @@ func Fig2(p Params) (Fig2Result, error) {
 	if err != nil {
 		return Fig2Result{}, err
 	}
-	e := core.NewDefault()
+	e, err := newEstimator(p, usda.Seed(), core.Options{})
+	if err != nil {
+		return Fig2Result{}, err
+	}
 	e.ObserveUnits(corpus.Phrases())
-	m, err := eval.PercentMapping(e, corpus)
+	m, err := eval.PercentMapping(e, corpus, p.Workers)
 	return Fig2Result{Mapping: m}, err
 }
 

@@ -79,19 +79,19 @@ func FAOExperiment(p Params) (FAOResult, error) {
 		{usda.Seed(), &res.PrimaryMeanMapped, &res.PrimaryFully, &res.PrimaryMAE},
 		{usda.WithRegional(), &res.MergedMeanMapped, &res.MergedFully, &res.MergedMAE},
 	} {
-		e, err := core.New(cfg.db, nil, core.Options{})
+		e, err := newEstimator(p, cfg.db, core.Options{})
 		if err != nil {
 			return res, err
 		}
 		e.ObserveUnits(corpus.Phrases())
-		mapping, err := eval.PercentMapping(e, corpus)
+		mapping, err := eval.PercentMapping(e, corpus, p.Workers)
 		if err != nil {
 			return res, err
 		}
 		*cfg.mapped = mapping.MeanMapped
 		*cfg.fully = mapping.FullyMapped
 		cal, err := eval.CalorieError(e, corpus, eval.CalorieConfig{
-			Seed: p.Seed, RequireFullMapping: true,
+			Seed: p.Seed, RequireFullMapping: true, Workers: p.Workers,
 		})
 		if err != nil {
 			return res, err

@@ -183,12 +183,16 @@ func CalorieExperiment(p Params) (CalorieResult, error) {
 	if err != nil {
 		return CalorieResult{}, err
 	}
-	e := core.NewDefault()
+	e, err := newEstimator(p, usda.Seed(), core.Options{})
+	if err != nil {
+		return CalorieResult{}, err
+	}
 	e.ObserveUnits(corpus.Phrases())
 	res, err := eval.CalorieError(e, corpus, eval.CalorieConfig{
 		Seed:                 p.Seed,
 		RequireFullMapping:   true,
 		RequireCleanServings: true,
+		Workers:              p.Workers,
 	})
 	return CalorieResult{Result: res}, err
 }
@@ -332,14 +336,14 @@ func UnitChainAblation(p Params) (AblationResult, error) {
 	}
 	var res AblationResult
 	for _, v := range variants {
-		e, err := core.New(usda.Seed(), nil, v.opts)
+		e, err := newEstimator(p, usda.Seed(), v.opts)
 		if err != nil {
 			return res, err
 		}
 		if !v.opts.DisableMostFrequent {
 			e.ObserveUnits(corpus.Phrases())
 		}
-		mapping, err := eval.PercentMapping(e, corpus)
+		mapping, err := eval.PercentMapping(e, corpus, p.Workers)
 		if err != nil {
 			return res, err
 		}
@@ -349,7 +353,7 @@ func UnitChainAblation(p Params) (AblationResult, error) {
 			FullyMapped: mapping.FullyMapped,
 		}
 		if cal, err := eval.CalorieError(e, corpus, eval.CalorieConfig{
-			Seed: p.Seed, RequireFullMapping: true,
+			Seed: p.Seed, RequireFullMapping: true, Workers: p.Workers,
 		}); err == nil {
 			row.CalorieMAE = cal.MeanAbsError
 		}

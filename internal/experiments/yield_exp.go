@@ -7,6 +7,7 @@ import (
 	"nutriprofile/internal/core"
 	"nutriprofile/internal/instructions"
 	"nutriprofile/internal/report"
+	"nutriprofile/internal/usda"
 	"nutriprofile/internal/yield"
 )
 
@@ -33,17 +34,28 @@ func YieldExperiment(p Params) (YieldResult, error) {
 	if err != nil {
 		return YieldResult{}, err
 	}
-	e := core.NewDefault()
+	e, err := newEstimator(p, usda.Seed(), core.Options{})
+	if err != nil {
+		return YieldResult{}, err
+	}
 	e.ObserveUnits(corpus.Phrases())
 
-	var res YieldResult
+	// Estimate on the worker pool; score sequentially in corpus order.
+	inputs := make([]core.RecipeInput, corpus.Len())
 	for i := range corpus.Recipes {
 		rec := &corpus.Recipes[i]
 		phrases := make([]string, len(rec.Ingredients))
 		for j := range rec.Ingredients {
 			phrases[j] = rec.Ingredients[j].Phrase
 		}
-		raw, err := e.EstimateRecipe(phrases, rec.Servings)
+		inputs[i] = core.RecipeInput{Phrases: phrases, Servings: rec.Servings}
+	}
+	outcomes := e.EstimateRecipes(inputs, p.Workers)
+
+	var res YieldResult
+	for i := range corpus.Recipes {
+		rec := &corpus.Recipes[i]
+		raw, err := outcomes[i].Result, outcomes[i].Err
 		if err != nil {
 			return res, err
 		}

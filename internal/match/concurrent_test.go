@@ -1,0 +1,94 @@
+package match
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// TestConcurrentRankDeterministic drives full Rank lists (not just the
+// top-1 Match) from 8 goroutines sharing one Matcher and requires every
+// ranking to be byte-identical to the single-goroutine reference —
+// order included. Run under -race in CI, this pins the documented
+// guarantee that Rank is safe and deterministic under concurrency.
+func TestConcurrentRankDeterministic(t *testing.T) {
+	m := NewDefault(usda.Seed())
+	queries := []Query{
+		{Name: "butter"},
+		{Name: "onion", State: "chopped"},
+		{Name: "flour"},
+		{Name: "chicken breast", State: "boneless"},
+		{Name: "tomato"},
+		{Name: "milk", DryFresh: "fresh"},
+	}
+	render := func(rs []Result) string { return fmt.Sprintf("%+v", rs) }
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		want[i] = render(m.Rank(q, 10))
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 100; iter++ {
+				i := (iter + g) % len(queries)
+				if got := render(m.Rank(queries[i], 10)); got != want[i] {
+					errs <- fmt.Sprintf("goroutine %d query %d:\n got: %s\nwant: %s", g, i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}
+
+// TestConcurrentFuzzyMatch covers the typo-correction path, whose
+// correct() walks the shared inverted index: map iteration order varies
+// per goroutine, so this pins that corrections are order-independent.
+func TestConcurrentFuzzyMatch(t *testing.T) {
+	m := NewDefault(usda.Seed())
+	queries := []Query{
+		{Name: "buttre"}, {Name: "oinon"}, {Name: "flouur"}, {Name: "tomatto"},
+	}
+	type ref struct {
+		res Result
+		ok  bool
+	}
+	want := make([]ref, len(queries))
+	for i, q := range queries {
+		want[i].res, want[i].ok = m.MatchFuzzy(q)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				i := iter % len(queries)
+				r, ok := m.MatchFuzzy(queries[i])
+				if ok != want[i].ok || r.NDB != want[i].res.NDB {
+					errs <- fmt.Sprintf("fuzzy %q → (%d,%v), want (%d,%v)",
+						queries[i].Name, r.NDB, ok, want[i].res.NDB, want[i].ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}

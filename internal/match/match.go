@@ -93,7 +93,13 @@ type Result struct {
 }
 
 // Matcher matches ingredient queries against a fixed database. It is
-// immutable after construction and safe for concurrent use.
+// immutable after construction and safe for concurrent use: Match,
+// Rank, MatchFuzzy and CorrectQuery only read the prebuilt docs and
+// inverted index, so any number of goroutines may share one Matcher
+// (core.EstimateBatch does exactly that). Results are deterministic
+// regardless of goroutine interleaving — Rank's sort key (score, raw
+// bonus, priority, database order) is a total order, so identical
+// queries always produce identical rankings.
 type Matcher struct {
 	db   *usda.DB
 	opts Options

@@ -1,0 +1,243 @@
+// Package memo provides a sharded, bounded, LRU-evicting memoization
+// cache for the estimation pipeline's hot lookups. Production recipe
+// traffic is heavily repetitive — "salt", "olive oil" and "butter"
+// appear in nearly every recipe — so memoizing the phrase→profile and
+// query→match functions turns the common case into a map hit instead of
+// a full Modified-Jaccard scan (§II-B).
+//
+// The cache is safe for concurrent use: keys are hashed (FNV-1a) onto
+// independently locked shards so N workers rarely contend on the same
+// mutex, and the hit/miss/eviction counters are atomics. Values must be
+// treated as read-only by callers — a cached value is shared by every
+// goroutine that hits it.
+//
+// Memoization here can never change results: both memoized functions
+// are pure (a fixed database, matcher configuration, and frozen unit
+// statistics fully determine the output), so a cache hit is byte-for-
+// byte identical to recomputation. Callers that mutate the underlying
+// state (core.Estimator.ObserveUnits) must Purge.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count used by New. 16 keeps per-shard
+// mutex contention negligible for worker pools up to a few dozen
+// goroutines while wasting little memory on tiny caches.
+const DefaultShards = 16
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int // current number of cached entries across all shards
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded, bounded LRU map from string keys to V.
+// The zero value is not usable; construct with New or NewSharded.
+type Cache[V any] struct {
+	shards []shard[V]
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// entry is an intrusive doubly-linked LRU list node. head is
+// most-recently used, tail is next to evict.
+type entry[V any] struct {
+	key        string
+	val        V
+	prev, next *entry[V]
+}
+
+type shard[V any] struct {
+	mu         sync.Mutex
+	capacity   int
+	m          map[string]*entry[V]
+	head, tail *entry[V]
+}
+
+// New builds a cache holding at most capacity entries across
+// DefaultShards shards. capacity <= 0 yields a cache that stores
+// nothing (every Get misses), which callers may use as a cheap
+// "disabled" mode.
+func New[V any](capacity int) *Cache[V] {
+	return NewSharded[V](capacity, DefaultShards)
+}
+
+// NewSharded builds a cache with an explicit shard count. The count is
+// rounded up to a power of two; each shard holds capacity/shards
+// entries (minimum 1 per shard when capacity > 0, so the effective
+// capacity is at least the shard count).
+func NewSharded[V any](capacity, shards int) *Cache[V] {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := 0
+	if capacity > 0 {
+		perShard = (capacity + n - 1) / n
+	}
+	c := &Cache[V]{shards: make([]shard[V], n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].capacity = perShard
+		c.shards[i].m = make(map[string]*entry[V])
+	}
+	return c
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to keep Get/Put
+// allocation-free.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[fnv1a(key)&c.mask]
+}
+
+// Get returns the cached value for key and marks it most-recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or refreshes key, evicting the least-recently-used entry
+// of its shard when the shard is full. On a zero-capacity cache Put is
+// a no-op.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shardFor(key)
+	if s.capacity <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.val = val
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if len(s.m) >= s.capacity {
+		old := s.tail
+		s.unlink(old)
+		delete(s.m, old.key)
+		evicted = true
+	}
+	e := &entry[V]{key: key, val: val}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current entry count across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every cached entry. Counters are preserved; Stats after a
+// Purge still reports lifetime hits/misses/evictions.
+func (c *Cache[V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]*entry[V])
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the counters. The snapshot is not atomic across
+// counters under concurrent load, which is fine for monitoring.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// --- intrusive LRU list (per shard, under the shard mutex) ---
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[V]) moveToFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
