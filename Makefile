@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke
+.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke bench-json
 
 all: build vet test
 
@@ -33,6 +33,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the perf-gated benchmarks (matching + batch estimation) and
+# emit the BENCH_match.json artifact the nightly workflow archives.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch' \
+		-benchmem -benchtime=1s ./internal/match/ . | tee bench_match.txt
+	$(GO) run ./cmd/benchjson -in bench_match.txt -o BENCH_match.json
+	@rm -f bench_match.txt
 
 # Regenerate every table and figure at full harness scale.
 experiments:

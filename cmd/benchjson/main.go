@@ -1,0 +1,66 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_*.json artifact schema, optionally filtering to a subset of
+// benchmarks:
+//
+//	go test -bench . -benchmem ./internal/match/ | benchjson -filter MatchName,Rank -o BENCH_match.json
+//
+// With no -o it writes to stdout; with no -filter it keeps every
+// benchmark. Used by `make bench-json` to emit BENCH_match.json for the
+// perf-tracking artifacts the nightly workflow archives and gates on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nutriprofile/internal/benchfmt"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file to read (default: stdin)")
+	out := flag.String("o", "", "JSON file to write (default: stdout)")
+	filter := flag.String("filter", "", "comma-separated substrings; keep benchmarks whose name contains any")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := benchfmt.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *filter != "" {
+		entries = benchfmt.Filter(entries, strings.Split(*filter, ",")...)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched"))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchfmt.WriteJSON(w, entries); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks\n", len(entries))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -52,7 +52,9 @@ func main() {
 	}
 	if *search != "" {
 		ran = true
-		m := match.NewDefault(db)
+		opts := match.DefaultOptions()
+		opts.ExplainMatched = true // explain output: show the matched words
+		m := match.New(db, opts)
 		results := m.Rank(match.Query{Name: *search}, 10)
 		if len(results) == 0 {
 			fmt.Printf("no match for %q\n", *search)
@@ -62,7 +64,8 @@ func main() {
 			if r.RawBonus {
 				bonus = " +raw"
 			}
-			fmt.Printf("J*=%.3f prio=%-3d%-5s %6d  %s\n", r.Score, r.Priority, bonus, r.NDB, r.Desc)
+			fmt.Printf("J*=%.3f prio=%-3d%-5s %6d  %-60s matched=%v\n",
+				r.Score, r.Priority, bonus, r.NDB, r.Desc, r.Matched)
 		}
 	}
 	if *show != 0 {

@@ -17,6 +17,10 @@
 // file, estimated concurrently on a -workers-sized pool sharing one
 // memoized estimator (-cache entries); one summary line per recipe is
 // printed in argument order.
+//
+// -stats appends the hot path's observability counters to either mode:
+// phrase/match memoization cache hit rates and the matcher engine's
+// index shape (vocabulary size, posting lists) and arena-pool hit rate.
 package main
 
 import (
@@ -42,12 +46,13 @@ func main() {
 	batch := flag.Bool("batch", false, "treat every argument as a recipe file and estimate them concurrently")
 	workers := flag.Int("workers", 0, "worker pool size for -batch and ingredient estimation (default: one per CPU)")
 	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
+	stats := flag.Bool("stats", false, "print memoization-cache and matcher-engine statistics after estimation")
 	flag.Parse()
 
 	phrases := flag.Args()
 	method := yield.None
 	if *batch {
-		runBatch(flag.Args(), *regional, *fuzzy, *applyYield, *verbose, *workers, *cacheSize)
+		runBatch(flag.Args(), *regional, *fuzzy, *applyYield, *verbose, *stats, *workers, *cacheSize)
 		return
 	}
 	if *file != "" {
@@ -127,6 +132,25 @@ func main() {
 	if *servings > 1 {
 		fmt.Printf("\nPer serving:\n%s", res.PerServing.Table())
 	}
+	if *stats {
+		printStats(e)
+	}
+}
+
+// printStats dumps the estimation hot path's observability counters: the
+// two memoization caches and the interned matcher engine (index shape
+// plus arena-pool recycling).
+func printStats(e *core.Estimator) {
+	ps, ms := e.CacheStats()
+	fmt.Printf("\nphrase cache:  %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries\n",
+		ps.Hits, ps.Misses, 100*ps.HitRate(), ps.Evictions, ps.Entries)
+	fmt.Printf("match cache:   %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries\n",
+		ms.Hits, ms.Misses, 100*ms.HitRate(), ms.Evictions, ms.Entries)
+	st := e.MatcherStats()
+	fmt.Printf("matcher index: %d docs, %d-term vocabulary, %d posting lists, %d postings\n",
+		st.Docs, st.VocabSize, st.PostingLists, st.PostingEntries)
+	fmt.Printf("matcher arena: %d queries, %d pool misses (%.0f%% pool hit rate)\n",
+		st.PoolGets, st.PoolMisses, 100*st.PoolHitRate())
 }
 
 // newEstimator builds the shared estimator from the CLI switches.
@@ -146,7 +170,7 @@ func newEstimator(regional, fuzzy bool, cacheSize int) *core.Estimator {
 // runBatch is corpus mode: each arg is a recipe file; all recipes are
 // estimated concurrently on one worker pool sharing one memoized
 // estimator, and summarized one line per recipe in argument order.
-func runBatch(files []string, regional, fuzzy, applyYield, verbose bool, workers, cacheSize int) {
+func runBatch(files []string, regional, fuzzy, applyYield, verbose, stats bool, workers, cacheSize int) {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "nutriprofile: -batch requires recipe-file arguments")
 		os.Exit(2)
@@ -200,12 +224,8 @@ func runBatch(files []string, regional, fuzzy, applyYield, verbose bool, workers
 		}
 	}
 	fmt.Print(tb.String())
-	if verbose {
-		ps, ms := e.CacheStats()
-		fmt.Printf("\nphrase cache: %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
-			ps.Hits, ps.Misses, 100*ps.HitRate(), ps.Evictions)
-		fmt.Printf("match cache:  %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
-			ms.Hits, ms.Misses, 100*ms.HitRate(), ms.Evictions)
+	if verbose || stats {
+		printStats(e)
 	}
 	if failures > 0 {
 		os.Exit(1)

@@ -17,8 +17,10 @@ import (
 
 func main() {
 	db := usda.Seed()
-	modified := match.NewDefault(db)
-	vanillaOpts := match.DefaultOptions()
+	opts := match.DefaultOptions()
+	opts.ExplainMatched = true // we print Result.Matched below
+	modified := match.New(db, opts)
+	vanillaOpts := opts
 	vanillaOpts.Metric = match.VanillaJaccard
 	vanilla := match.New(db, vanillaOpts)
 

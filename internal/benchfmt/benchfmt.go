@@ -1,0 +1,183 @@
+// Package benchfmt parses the standard `go test -bench` text format into
+// structured entries, serializes them as JSON for artifact tracking
+// (make bench-json → BENCH_match.json), and implements the regression
+// gate the nightly workflow enforces: a match benchmark may not get more
+// than 10% slower in ns/op, and may not regress in allocs/op at all —
+// the zero-allocation warm path is a hard property, not a statistic.
+//
+// The parser is dependency-free on purpose: the container builds with
+// the standard library only, so the gate itself is unit-testable here
+// while the (optional) human-readable old-vs-new delta in CI comes from
+// benchstat installed on the runner.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line, e.g.
+//
+//	BenchmarkRank-8   869994   1423 ns/op   0 B/op   0 allocs/op
+//
+// Fields not present on the line (no -benchmem) stay at -1 so the gate
+// can distinguish "zero allocations" from "not measured".
+type Entry struct {
+	Name        string  `json:"name"`  // without the -GOMAXPROCS suffix
+	Procs       int     `json:"procs"` // the -N suffix, 1 if absent
+	Runs        int64   `json:"runs"`  // iteration count
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`  // -1 when not measured
+	AllocsPerOp int64   `json:"allocs_per_op"` // -1 when not measured
+	// Extra holds non-standard custom metrics (e.g. phrases/s from the
+	// batch benchmarks), unit → value.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Parse reads every benchmark line from r, in input order. Non-benchmark
+// lines (goos/pkg headers, PASS, test logs) are skipped.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: %q: %w", line, err)
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string) (Entry, bool, error) {
+	fields := strings.Fields(line)
+	// Shortest valid line: name, runs, value, unit.
+	if len(fields) < 4 {
+		return Entry{}, false, nil
+	}
+	e := Entry{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	e.Name = fields[0]
+	if i := strings.LastIndex(e.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Procs = p
+			e.Name = e.Name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("iteration count: %w", err)
+	}
+	e.Runs = runs
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			e.BytesPerOp = int64(val)
+		case "allocs/op":
+			e.AllocsPerOp = int64(val)
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = val
+		}
+	}
+	if !seenNs {
+		return Entry{}, false, nil
+	}
+	return e, true, nil
+}
+
+// Filter returns the entries whose Name contains any of the given
+// substrings (all entries when none are given).
+func Filter(entries []Entry, substrings ...string) []Entry {
+	if len(substrings) == 0 {
+		return entries
+	}
+	var out []Entry
+	for _, e := range entries {
+		for _, s := range substrings {
+			if strings.Contains(e.Name, s) {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Report is the JSON artifact schema for BENCH_*.json.
+type Report struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// WriteJSON emits the entries as an indented JSON report, sorted by name
+// so successive artifacts diff cleanly.
+func WriteJSON(w io.Writer, entries []Entry) error {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Benchmarks: sorted})
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name   string
+	Reason string
+}
+
+func (r Regression) String() string { return r.Name + ": " + r.Reason }
+
+// Gate compares new against old entries (matched by Name) and returns
+// every violation of the perf contract: ns/op more than maxSlowdown
+// worse (e.g. 0.10 = +10%), or any increase in allocs/op. Benchmarks
+// present on only one side are ignored — adding or removing a benchmark
+// is not a regression.
+func Gate(old, new []Entry, maxSlowdown float64) []Regression {
+	base := make(map[string]Entry, len(old))
+	for _, e := range old {
+		base[e.Name] = e
+	}
+	var regs []Regression
+	for _, e := range new {
+		o, ok := base[e.Name]
+		if !ok {
+			continue
+		}
+		if o.NsPerOp > 0 && e.NsPerOp > o.NsPerOp*(1+maxSlowdown) {
+			regs = append(regs, Regression{
+				Name: e.Name,
+				Reason: fmt.Sprintf("ns/op %.1f → %.1f (+%.1f%%, limit +%.0f%%)",
+					o.NsPerOp, e.NsPerOp, 100*(e.NsPerOp/o.NsPerOp-1), 100*maxSlowdown),
+			})
+		}
+		if o.AllocsPerOp >= 0 && e.AllocsPerOp > o.AllocsPerOp {
+			regs = append(regs, Regression{
+				Name: e.Name,
+				Reason: fmt.Sprintf("allocs/op %d → %d (any increase fails)",
+					o.AllocsPerOp, e.AllocsPerOp),
+			})
+		}
+	}
+	return regs
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
 	"nutriprofile/internal/yield"
 )
@@ -123,4 +124,12 @@ func (e *Estimator) CacheStats() (phrase, match memo.Stats) {
 		match = e.matchCache.Stats()
 	}
 	return phrase, match
+}
+
+// MatcherStats reports the description matcher's index shape (vocabulary
+// size, posting lists) and arena-pool counters, alongside CacheStats the
+// observability surface of the estimation hot path (cmd/nutriprofile
+// -stats).
+func (e *Estimator) MatcherStats() match.MatcherStats {
+	return e.matcher.Stats()
 }

@@ -222,8 +222,8 @@ type RecipeResult struct {
 // Options.CacheSize > 0 the result is memoized under the normalized
 // (tokenized) phrase: two phrases with identical token streams share
 // one cached computation. Returned results must be treated as
-// read-only when caching is enabled — the Match.Matched slice is
-// shared with every other caller that hits the same entry.
+// read-only when caching is enabled — they are shared with every other
+// caller that hits the same entry.
 func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 	if e.phraseCache == nil {
 		return e.estimateIngredient(phrase)

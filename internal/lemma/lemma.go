@@ -269,28 +269,42 @@ func lemmatizeVerb(w string) string {
 			continue
 		}
 		stem := w[:len(w)-len(suffix)]
-		var cands []string
+		// Candidates in preference order are the bare stem, stem+"e",
+		// and the undoubled stem (chopped→chopp→chop); a lexicon hit on
+		// any outranks plausibility on any. Candidates are tested
+		// inline rather than gathered into a slice so that rejected
+		// ones never materialize — only the returned lemma is built.
 		switch suffix {
 		case "ied", "ies":
-			cands = []string{stem + "y"}
+			if verbLexicon[stem+"y"] || plausibleStem(stem+"y") {
+				return stem + "y"
+			}
 		case "s":
-			cands = []string{stem}
+			if verbLexicon[stem] || (len(stem) >= 3 && plausibleStem(stem)) {
+				return stem
+			}
 		default:
-			cands = []string{stem, stem + "e"}
-			// Undouble final consonant: chopped→chopp→chop.
+			undoubled := ""
 			if len(stem) >= 3 && stem[len(stem)-1] == stem[len(stem)-2] {
-				cands = append(cands, stem[:len(stem)-1])
+				undoubled = stem[:len(stem)-1]
 			}
-		}
-		// Prefer a lexicon hit, in candidate order.
-		for _, c := range cands {
-			if verbLexicon[c] {
-				return c
+			if verbLexicon[stem] {
+				return stem
 			}
-		}
-		for _, c := range cands {
-			if len(c) >= 3 && plausibleStem(c) {
-				return c
+			if verbLexicon[stem+"e"] {
+				return stem + "e"
+			}
+			if undoubled != "" && verbLexicon[undoubled] {
+				return undoubled
+			}
+			if len(stem) >= 3 && plausibleStem(stem) {
+				return stem
+			}
+			if plausibleStem(stem + "e") {
+				return stem + "e"
+			}
+			if len(undoubled) >= 3 && plausibleStem(undoubled) {
+				return undoubled
 			}
 		}
 	}

@@ -1,5 +1,7 @@
 package match
 
+import "nutriprofile/internal/textutil"
+
 // ExactMatcher is the naive string-matching baseline the paper's
 // introduction positions itself against ("Previous studies have testified
 // the efficiency of string-matching methods on small datasets"): an
@@ -24,14 +26,26 @@ func (e *ExactMatcher) Match(q Query) (Result, bool) {
 	if anchor.Len() == 0 {
 		return Result{}, false
 	}
+	// Lift the scored words into ID space. A word absent from the
+	// interned vocabulary appears in no description, so full containment
+	// is impossible for the whole query.
+	ids := make([]uint32, 0, scored.Len())
+	for w := range scored {
+		id, ok := e.m.vocab.Lookup(w)
+		if !ok {
+			return Result{}, false
+		}
+		ids = append(ids, id)
+	}
+	want := textutil.NewIDSet(ids)
 	bestIdx, bestLen := -1, 1<<31-1
-	for i := range e.m.docs {
-		doc := &e.m.docs[i]
-		if scored.IntersectLen(doc.set) != scored.Len() {
+	for d := 0; d < e.m.db.Len(); d++ {
+		doc := e.m.docIDs(int32(d))
+		if !doc.ContainsAll(want) {
 			continue // not full containment
 		}
-		if doc.set.Len() < bestLen {
-			bestIdx, bestLen = i, doc.set.Len()
+		if doc.Len() < bestLen {
+			bestIdx, bestLen = d, doc.Len()
 		}
 	}
 	if bestIdx < 0 {

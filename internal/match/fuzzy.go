@@ -62,11 +62,11 @@ func (m *Matcher) correct(word string) string {
 	if len(word) < 4 {
 		return ""
 	}
-	if _, ok := m.inverted[word]; ok {
+	if _, ok := m.vocab.Lookup(word); ok {
 		return word
 	}
 	best := ""
-	for vocab := range m.inverted {
+	for _, vocab := range m.vocab.Terms() {
 		d := len(vocab) - len(word)
 		if d < -1 || d > 1 {
 			continue
@@ -88,7 +88,7 @@ func (m *Matcher) CorrectQuery(q Query) (Query, bool) {
 	tokens := NormalizeTokens(q.Name)
 	changed := false
 	for i, tok := range tokens {
-		if _, ok := m.inverted[tok]; ok {
+		if _, ok := m.vocab.Lookup(tok); ok {
 			continue
 		}
 		if fixed := m.correct(tok); fixed != "" {

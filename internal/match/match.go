@@ -1,7 +1,8 @@
 package match
 
 import (
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nutriprofile/internal/textutil"
 	"nutriprofile/internal/usda"
@@ -55,6 +56,14 @@ type Options struct {
 	// MinScore is the score below which a query is reported unmatched.
 	// The paper treats any nonzero overlap as a (possibly poor) match.
 	MinScore float64
+	// ExplainMatched materializes Result.Matched — the sorted query
+	// words found in each returned description — for explain-style
+	// output (dbtool -search, examples/matcher). It is off by default:
+	// the scoring itself never needs the strings, and the estimation
+	// pipeline never reads them, so the hot path skips the per-result
+	// []string entirely. Scores, ordering and every other Result field
+	// are identical either way.
+	ExplainMatched bool
 }
 
 // DefaultOptions is the paper's configuration.
@@ -88,41 +97,134 @@ type Result struct {
 	// RawBonus marks the §II-B(g) provision: the description contains
 	// "raw" and the query had no STATE entity.
 	RawBonus bool
-	Matched  []string
-	index    int // position in db order, the §II-B(i) tie-break key
+	// Matched lists the query words found in the description, sorted.
+	// Populated only under Options.ExplainMatched.
+	Matched []string
+	index   int // position in db order, the §II-B(i) tie-break key
 }
 
 // Matcher matches ingredient queries against a fixed database. It is
 // immutable after construction and safe for concurrent use: Match,
-// Rank, MatchFuzzy and CorrectQuery only read the prebuilt docs and
-// inverted index, so any number of goroutines may share one Matcher
-// (core.EstimateBatch does exactly that). Results are deterministic
-// regardless of goroutine interleaving — Rank's sort key (score, raw
-// bonus, priority, database order) is a total order, so identical
-// queries always produce identical rankings.
+// Rank, MatchFuzzy and CorrectQuery only read the prebuilt index, and
+// per-query scratch state lives in pooled arenas, so any number of
+// goroutines may share one Matcher (core.EstimateBatch does exactly
+// that). Results are deterministic regardless of goroutine interleaving
+// — the ranking key (score, raw bonus, priority, database order) is a
+// total order, so identical queries always produce identical rankings.
+//
+// Internally the matcher is a small IR engine over an interned
+// vocabulary: every normalized description word gets a dense uint32
+// term ID at construction, documents are sorted ID sets, and each term
+// owns a flat posting list of the documents containing it (plus the
+// word's §II-B(h) sequence priority in that document). Rank runs
+// term-at-a-time over the query's posting lists into an epoch-stamped
+// accumulator arena and selects the top k with a bounded heap — no
+// maps, no string hashing, and zero allocations on the warm path.
 type Matcher struct {
 	db   *usda.DB
 	opts Options
-	docs []descDoc
-	// inverted maps each description word to the (ascending) indices of
-	// foods containing it, restricting scoring to plausible candidates.
-	inverted map[string][]int32
+
+	vocab *textutil.Interner
+
+	// Documents, CSR-flat: docTerms[docOff[d]:docOff[d+1]] is document
+	// d's sorted unique term IDs; hasRaw records the literal state word
+	// "raw" for the §II-B(g) provision.
+	docTerms []uint32
+	docOff   []int32
+	hasRaw   []bool
+
+	// Posting lists, CSR-flat: postDocs[postOff[t]:postOff[t+1]] is the
+	// ascending document indices containing term t, and postPri the
+	// term's 1-based first comma-term index in that document (§II-B(h)).
+	postDocs []int32
+	postPri  []int32
+	postOff  []int32
+
+	// arenas recycles per-query accumulator state; see arena.go.
+	arenas     sync.Pool
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
 }
 
-// New preprocesses every description in db and builds the inverted index.
+// New preprocesses every description in db and builds the interned
+// vocabulary, document ID sets and posting lists.
 func New(db *usda.DB, opts Options) *Matcher {
-	m := &Matcher{
-		db:       db,
-		opts:     opts,
-		docs:     make([]descDoc, db.Len()),
-		inverted: make(map[string][]int32),
+	n := db.Len()
+	m := &Matcher{db: db, opts: opts, vocab: textutil.NewInterner()}
+
+	// Pass 1: normalize each description into per-document (term ID,
+	// priority) pairs, interning every word.
+	type termPri struct {
+		id  uint32
+		pri int32
 	}
-	for i := 0; i < db.Len(); i++ {
-		doc := normalizeDesc(db.At(i).Desc)
-		m.docs[i] = doc
-		for w := range doc.set {
-			m.inverted[w] = append(m.inverted[w], int32(i))
+	perDoc := make([][]termPri, n)
+	m.hasRaw = make([]bool, n)
+	var norm, toks []string
+	for d := 0; d < n; d++ {
+		var doc []termPri
+		for termIdx, term := range textutil.SplitCommaTerms(db.At(d).Desc) {
+			norm, toks = appendNormalizedTokens(norm[:0], term, toks)
+			for _, w := range norm {
+				if w == "raw" {
+					m.hasRaw[d] = true
+				}
+				id := m.vocab.Intern(w)
+				dup := false
+				for _, tp := range doc {
+					if tp.id == id {
+						dup = true
+						break
+					}
+				}
+				// First occurrence wins: the §II-B(h) priority is the
+				// FIRST comma term the word appears in.
+				if !dup {
+					doc = append(doc, termPri{id: id, pri: int32(termIdx + 1)})
+				}
+			}
 		}
+		perDoc[d] = doc
+	}
+
+	// Pass 2: flatten documents (sorted by term ID) and posting lists
+	// (sorted by document index, which the ascending doc loop gives for
+	// free).
+	vocabLen := m.vocab.Len()
+	total := 0
+	counts := make([]int32, vocabLen+1)
+	for _, doc := range perDoc {
+		total += len(doc)
+		for _, tp := range doc {
+			counts[tp.id+1]++
+		}
+	}
+	m.docTerms = make([]uint32, 0, total)
+	m.docOff = make([]int32, n+1)
+	m.postOff = make([]int32, vocabLen+1)
+	for t := 1; t <= vocabLen; t++ {
+		m.postOff[t] = m.postOff[t-1] + counts[t]
+	}
+	m.postDocs = make([]int32, total)
+	m.postPri = make([]int32, total)
+	fill := append([]int32(nil), m.postOff[:vocabLen]...)
+	ids := make([]uint32, 0, 16)
+	for d, doc := range perDoc {
+		ids = ids[:0]
+		for _, tp := range doc {
+			ids = append(ids, tp.id)
+			p := fill[tp.id]
+			m.postDocs[p] = int32(d)
+			m.postPri[p] = tp.pri
+			fill[tp.id] = p + 1
+		}
+		m.docTerms = append(m.docTerms, textutil.SortDedupIDs(ids)...)
+		m.docOff[d+1] = int32(len(m.docTerms))
+	}
+
+	m.arenas.New = func() any {
+		m.poolMisses.Add(1)
+		return newArena(n)
 	}
 	return m
 }
@@ -133,11 +235,23 @@ func NewDefault(db *usda.DB) *Matcher { return New(db, DefaultOptions()) }
 // Options returns the matcher's configuration.
 func (m *Matcher) Options() Options { return m.opts }
 
-// querySet builds the preprocessed ingredient word set A of §II-B(e).
-// anchor is the set candidate gathering and the must-overlap requirement
-// run against: the NAME words alone under NameAnchoring, otherwise all
-// query words. rawEligible reports whether the §II-B(g) provision applies
-// (no STATE entity and "raw" not already a query word).
+// docIDs returns document d's sorted term-ID set.
+func (m *Matcher) docIDs(d int32) textutil.IDSet {
+	return textutil.IDSet(m.docTerms[m.docOff[d]:m.docOff[d+1]])
+}
+
+// docLen returns the number of distinct normalized words in document d
+// (the |B| of the vanilla-Jaccard union).
+func (m *Matcher) docLen(d int32) int {
+	return int(m.docOff[d+1] - m.docOff[d])
+}
+
+// querySet builds the preprocessed ingredient word set A of §II-B(e) in
+// string space. The scoring engine works in interned-ID space (see
+// arena.prepare); this helper remains for the containment baseline
+// (ExactMatcher) and for tests that inspect the sets directly.
+// rawEligible reports whether the §II-B(g) provision applies (no STATE
+// entity and "raw" not already a query word).
 func (m *Matcher) querySet(q Query) (anchor, scored textutil.Set, rawEligible bool) {
 	nameTokens := NormalizeTokens(q.Name)
 	tokens := nameTokens
@@ -156,91 +270,178 @@ func (m *Matcher) querySet(q Query) (anchor, scored textutil.Set, rawEligible bo
 }
 
 // Match returns the best description for the query, or ok=false when no
-// description shares a word with it (the unmatched ~5.5% of §III).
+// description shares a word with it (the unmatched ~5.5% of §III). It
+// allocates nothing on the warm path beyond the optional ExplainMatched
+// materialization.
 func (m *Matcher) Match(q Query) (Result, bool) {
-	res := m.Rank(q, 1)
-	if len(res) == 0 {
+	a := m.getArena()
+	defer m.putArena(a)
+	cands := m.rankCands(a, q, 1)
+	if len(cands) == 0 {
 		return Result{}, false
 	}
-	return res[0], true
+	var r Result
+	m.fillResult(a, cands[0], &r)
+	return r, true
 }
 
 // Rank returns the top-k candidates in preference order: score descending,
 // then priority ascending (if enabled), then database order (§II-B(i)).
 // k ≤ 0 returns every candidate with Score ≥ MinScore.
 func (m *Matcher) Rank(q Query, k int) []Result {
-	anchor, qset, rawEligible := m.querySet(q)
-	if anchor.Len() == 0 {
+	a := m.getArena()
+	defer m.putArena(a)
+	cands := m.rankCands(a, q, k)
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		m.fillResult(a, c, &out[i])
+	}
+	return out
+}
+
+// RankInto is Rank appending into dst[:0], so steady-state callers can
+// reuse one result buffer across queries and rank with zero allocations
+// (when ExplainMatched is off). It returns dst re-sliced to the result
+// count, which is 0 (not nil) for unmatched queries.
+func (m *Matcher) RankInto(q Query, k int, dst []Result) []Result {
+	dst = dst[:0]
+	a := m.getArena()
+	defer m.putArena(a)
+	for _, c := range m.rankCands(a, q, k) {
+		var r Result
+		m.fillResult(a, c, &r)
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// rankCands runs the scoring engine: prepare the query in ID space,
+// accumulate term-at-a-time over posting lists, then select and order
+// the top k (all, for k ≤ 0) under the total order. The returned slice
+// lives in the arena and is valid until putArena.
+func (m *Matcher) rankCands(a *arena, q Query, k int) []cand {
+	if !a.prepare(m, q) {
 		return nil
 	}
 
-	// Gather candidates through the inverted index, from anchor words
-	// only: under NameAnchoring, STATE/TEMP/DF words may strengthen a
-	// match but never create one.
-	candSet := map[int32]struct{}{}
-	for w := range anchor {
-		for _, i := range m.inverted[w] {
-			candSet[i] = struct{}{}
+	// Gather-and-mark pass over the anchor terms' posting lists: under
+	// NameAnchoring, STATE/TEMP/DF words may strengthen a match but
+	// never create one.
+	epoch := a.nextEpoch()
+	touched := a.touched[:0]
+	for _, t := range a.anchorIDs {
+		for _, d := range m.postDocs[m.postOff[t]:m.postOff[t+1]] {
+			if a.stamp[d] != epoch {
+				a.stamp[d] = epoch
+				a.inter[d] = 0
+				a.pri[d] = 0
+				touched = append(touched, d)
+			}
 		}
 	}
-	if len(candSet) == 0 {
+	a.touched = touched
+	if len(touched) == 0 {
 		return nil
 	}
 
-	results := make([]Result, 0, len(candSet))
-	for i := range candSet {
-		doc := &m.docs[i]
-		if anchor.IntersectLen(doc.set) == 0 {
-			continue
+	// Scoring pass: every scored term contributes its posting list to
+	// the marked documents' accumulators.
+	for _, t := range a.ids {
+		off, end := m.postOff[t], m.postOff[t+1]
+		docs := m.postDocs[off:end]
+		pris := m.postPri[off:end]
+		for j, d := range docs {
+			if a.stamp[d] == epoch {
+				a.inter[d]++
+				a.pri[d] += pris[j]
+			}
 		}
-		inter := qset.IntersectLen(doc.set)
+	}
+
+	// Score, filter and select. For bounded k the arena keeps a heap of
+	// the current k best with the WORST at the root, so each remaining
+	// candidate costs one comparison against the bar (plus a sift when
+	// it clears it). k ≤ 0 collects everything.
+	sel := a.cands[:0]
+	vanilla := m.opts.Metric == VanillaJaccard
+	scoredLen := float64(a.scoredLen)
+	for _, d := range a.touched {
+		inter := a.inter[d]
 		var score float64
-		switch m.opts.Metric {
-		case VanillaJaccard:
-			score = float64(inter) / float64(qset.UnionLen(doc.set))
-		default:
-			score = float64(inter) / float64(qset.Len())
+		if vanilla {
+			score = float64(inter) / (scoredLen + float64(m.docLen(d)) - float64(inter))
+		} else {
+			score = float64(inter) / scoredLen
 		}
 		if score < m.opts.MinScore {
 			continue
 		}
-		matched := make([]string, 0, inter)
-		priority := 0
-		for w := range qset {
-			if doc.set.Has(w) {
-				matched = append(matched, w)
-				priority += doc.priority[w]
+		c := cand{score: score, pri: a.pri[d], doc: d, raw: a.rawEligible && m.hasRaw[d]}
+		if k <= 0 || len(sel) < k {
+			sel = append(sel, c)
+			if k > 0 && len(sel) == k {
+				heapifyWorst(sel, m)
 			}
+			continue
 		}
-		sort.Strings(matched)
-		food := m.db.At(int(i))
-		results = append(results, Result{
-			NDB: food.NDB, Desc: food.Desc, Score: score,
-			Priority: priority, RawBonus: rawEligible && doc.hasRaw,
-			Matched: matched, index: int(i),
-		})
+		if m.better(c, sel[0]) {
+			sel[0] = c
+			siftWorst(sel, 0, len(sel), m)
+		}
 	}
-	if len(results) == 0 {
-		return nil
-	}
+	a.cands = sel
+	sortCands(sel, m)
+	return sel
+}
 
-	sort.Slice(results, func(a, b int) bool {
-		ra, rb := &results[a], &results[b]
-		if ra.Score != rb.Score {
-			return ra.Score > rb.Score
-		}
-		if ra.RawBonus != rb.RawBonus {
-			return ra.RawBonus // §II-B(g): the free "raw" word wins ties
-		}
-		if m.opts.PriorityResolution && ra.Priority != rb.Priority {
-			return ra.Priority < rb.Priority
-		}
-		return ra.index < rb.index // §II-B(i): first match in SR order
-	})
-	if k > 0 && len(results) > k {
-		results = results[:k]
+// fillResult materializes one selected candidate into a Result.
+func (m *Matcher) fillResult(a *arena, c cand, r *Result) {
+	food := m.db.At(int(c.doc))
+	r.NDB = food.NDB
+	r.Desc = food.Desc
+	r.Score = c.score
+	r.Priority = int(c.pri)
+	r.RawBonus = c.raw
+	r.index = int(c.doc)
+	if m.opts.ExplainMatched {
+		r.Matched = m.matchedWords(a, c.doc)
 	}
-	return results
+}
+
+// matchedWords lazily materializes the sorted matched-word list for one
+// returned document — the per-candidate cost the old engine paid for
+// every scored candidate now happens at most k times per query.
+func (m *Matcher) matchedWords(a *arena, d int32) []string {
+	doc := m.docIDs(d)
+	matched := make([]string, 0, a.inter[d])
+	// a.words is lexically sorted by prepare under ExplainMatched, so
+	// filtering preserves sortedness.
+	for i, w := range a.words {
+		if id := a.wordIDs[i]; id != oovID && doc.Has(id) {
+			matched = append(matched, w)
+		}
+	}
+	return matched
+}
+
+// better reports whether candidate x outranks y under the total order:
+// score descending, raw bonus (§II-B(g)), priority ascending (§II-B(h),
+// if enabled), then database order (§II-B(i)). The final key is unique,
+// so this is a strict total order and every selection is deterministic.
+func (m *Matcher) better(x, y cand) bool {
+	if x.score != y.score {
+		return x.score > y.score
+	}
+	if x.raw != y.raw {
+		return x.raw // §II-B(g): the free "raw" word wins ties
+	}
+	if m.opts.PriorityResolution && x.pri != y.pri {
+		return x.pri < y.pri
+	}
+	return x.doc < y.doc // §II-B(i): first match in SR order
 }
 
 // MatchName is shorthand for matching a bare ingredient name.
@@ -250,3 +451,49 @@ func (m *Matcher) MatchName(name string) (Result, bool) {
 
 // DB returns the underlying database.
 func (m *Matcher) DB() *usda.DB { return m.db }
+
+// MatcherStats describes the interned index and the arena pool, for
+// observability (cmd/nutriprofile -stats).
+type MatcherStats struct {
+	Docs           int    // documents (food descriptions) indexed
+	VocabSize      int    // distinct interned terms
+	PostingLists   int    // non-empty posting lists (== VocabSize here)
+	PostingEntries int    // total (term, doc) postings
+	PoolGets       uint64 // arena checkouts (one per query)
+	PoolMisses     uint64 // checkouts that had to allocate a fresh arena
+}
+
+// PoolHitRate returns the fraction of queries served by a recycled
+// arena; the steady state is ~1 (only pool cold-starts and GC-reclaimed
+// arenas miss).
+func (s MatcherStats) PoolHitRate() float64 {
+	if s.PoolGets == 0 {
+		return 0
+	}
+	return 1 - float64(s.PoolMisses)/float64(s.PoolGets)
+}
+
+// Stats snapshots the matcher's index shape and arena-pool counters.
+func (m *Matcher) Stats() MatcherStats {
+	lists := 0
+	for t := 0; t < m.vocab.Len(); t++ {
+		if m.postOff[t+1] > m.postOff[t] {
+			lists++
+		}
+	}
+	return MatcherStats{
+		Docs:           m.db.Len(),
+		VocabSize:      m.vocab.Len(),
+		PostingLists:   lists,
+		PostingEntries: len(m.postDocs),
+		PoolGets:       m.poolGets.Load(),
+		PoolMisses:     m.poolMisses.Load(),
+	}
+}
+
+func (m *Matcher) getArena() *arena {
+	m.poolGets.Add(1)
+	return m.arenas.Get().(*arena)
+}
+
+func (m *Matcher) putArena(a *arena) { m.arenas.Put(a) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package match
+
+const raceEnabled = false

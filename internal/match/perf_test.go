@@ -1,0 +1,96 @@
+package match
+
+// Steady-state performance pins for the interned engine. The CI perf gate
+// (cmd/benchgate via make bench-json) tracks BenchmarkMatchName and
+// BenchmarkRank; TestWarmPathZeroAllocs turns the headline claim — zero
+// allocations per query once the arena pool is warm — into a hard test
+// so an accidental allocation fails fast, not just in nightly benchstat.
+
+import (
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// benchQueries exercise multi-word phrases, entity folding, negation
+// rewriting and raw-provision ties against the seed database.
+var benchQueries = []Query{
+	{Name: "low fat sour cream"},
+	{Name: "unsalted butter"},
+	{Name: "apple"},
+	{Name: "chicken breast", State: "roasted"},
+	{Name: "tomato paste"},
+}
+
+func BenchmarkMatchName(b *testing.B) {
+	m := NewDefault(usda.Seed())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.MatchName("low fat sour cream"); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	m := NewDefault(usda.Seed())
+	var buf []Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.RankInto(benchQueries[i%len(benchQueries)], 10, buf)
+		if len(buf) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkRankExplain(b *testing.B) {
+	// The eager-Matched configuration dbtool explain output uses: shows
+	// what lazy materialization saves the default path.
+	opts := DefaultOptions()
+	opts.ExplainMatched = true
+	m := New(usda.Seed(), opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := m.Rank(benchQueries[i%len(benchQueries)], 10); len(rs) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkRankLargeDB(b *testing.B) {
+	m := NewDefault(usda.Merged(7500, 3))
+	var buf []Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.RankInto(Query{Name: "golden harvest beans"}, 10, buf)
+	}
+}
+
+func TestWarmPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	m := NewDefault(usda.Seed())
+	var buf []Result
+	// Warm the arena pool and grow every scratch slice to steady state.
+	for _, q := range benchQueries {
+		buf = m.RankInto(q, 10, buf)
+		if _, ok := m.Match(q); !ok {
+			t.Fatalf("no match for %+v", q)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, q := range benchQueries {
+			buf = m.RankInto(q, 10, buf)
+			m.Match(q)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Match/RankInto allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -41,25 +41,39 @@ var negativePrefixWords = map[string]string{
 	"nonhydrogenated": "hydrogenate",
 }
 
-// expandNegations rewrites one token into its negation-normalized form.
-// It returns either the token itself (1 element) or ["not", base].
-func expandNegations(tok string) []string {
+// appendNormalizedToken appends one raw token's normalized form(s) to
+// dst: negation rewriting (§II-B(f)) first — standalone negations become
+// "not", negative prefixes and "-free"/"less" suffixes become "not" plus
+// the un-negated base — then stop-word removal and lemmatization of the
+// surviving word. Appending (instead of returning a fresh 1–2 element
+// slice per token) is what lets the whole normalization pipeline run out
+// of reusable scratch buffers.
+func appendNormalizedToken(dst []string, tok string) []string {
 	if stopwords.IsNegation(tok) {
-		return []string{"not"}
+		return append(dst, "not")
 	}
-	if base, ok := negativePrefixWords[tok]; ok {
-		return []string{"not", base}
+	base, negated := negativePrefixWords[tok]
+	if !negated {
+		// "X-free" and "Xless" suffixes negate X: fat-free → not fat,
+		// boneless → not bone. Tokenize keeps hyphenated words whole, so
+		// the forms arrive as single tokens.
+		if rest, ok := strings.CutSuffix(tok, "-free"); ok && len(rest) >= 3 {
+			base, negated = lemma.Word(rest), true
+		} else if rest, ok := strings.CutSuffix(tok, "less"); ok && len(rest) >= 4 {
+			base, negated = lemma.Word(rest), true
+		}
 	}
-	// "X-free" and "Xless" suffixes negate X: fat-free → not fat,
-	// boneless → not bone. Tokenize keeps hyphenated words whole, so the
-	// forms arrive as single tokens.
-	if rest, ok := strings.CutSuffix(tok, "-free"); ok && len(rest) >= 3 {
-		return []string{"not", lemma.Word(rest)}
+	if negated {
+		dst = append(dst, "not")
+		tok = base
 	}
-	if rest, ok := strings.CutSuffix(tok, "less"); ok && len(rest) >= 4 {
-		return []string{"not", lemma.Word(rest)}
+	if stopwords.IsStop(tok) {
+		return dst
 	}
-	return []string{tok}
+	if n := normalizeWord(tok); n != "" {
+		dst = append(dst, n)
+	}
+	return dst
 }
 
 // normalizeWord lemmatizes a token for set comparison. Nouns dominate
@@ -78,56 +92,24 @@ func normalizeWord(tok string) string {
 	return tok
 }
 
-// NormalizeTokens runs the full §II-B preprocessing over a raw phrase:
-// uniform casing (Tokenize lower-cases), negation expansion, stop-word
-// removal and lemmatization. The same function is applied to ingredient
-// phrases and to food descriptions so the two sides stay comparable.
+// appendNormalizedTokens runs the full §II-B preprocessing over a raw
+// phrase — uniform casing, negation expansion, stop-word removal and
+// lemmatization — appending the result to dst. scratch holds the
+// intermediate word tokens; both slices are returned so callers can
+// recycle their backing arrays across phrases (the matcher's arena does,
+// making query normalization allocation-free once warm).
+func appendNormalizedTokens(dst []string, s string, scratch []string) (norm, scratchOut []string) {
+	scratch = textutil.AppendWords(scratch[:0], s)
+	for _, tok := range scratch {
+		dst = appendNormalizedToken(dst, tok)
+	}
+	return dst, scratch
+}
+
+// NormalizeTokens runs the full §II-B preprocessing over a raw phrase.
+// The same function is applied to ingredient phrases and to food
+// descriptions so the two sides stay comparable.
 func NormalizeTokens(s string) []string {
-	var out []string
-	for _, tok := range textutil.Words(s) {
-		for _, piece := range expandNegations(tok) {
-			if piece == "not" {
-				out = append(out, "not")
-				continue
-			}
-			if stopwords.IsStop(piece) {
-				continue
-			}
-			if n := normalizeWord(piece); n != "" {
-				out = append(out, n)
-			}
-		}
-	}
+	out, _ := appendNormalizedTokens(nil, s, nil)
 	return out
-}
-
-// descDoc is a preprocessed food description: its word set plus, for each
-// word, the 1-based index of the FIRST comma-separated term the word
-// appears in — the sequence priority of §II-B(h). hasRaw records whether
-// the literal state word "raw" occurs anywhere in the description (for
-// the §II-B(g) provision).
-type descDoc struct {
-	set      textutil.Set
-	priority map[string]int
-	hasRaw   bool
-}
-
-// normalizeDesc preprocesses one comma-separated food description.
-func normalizeDesc(desc string) descDoc {
-	doc := descDoc{
-		set:      textutil.Set{},
-		priority: map[string]int{},
-	}
-	for termIdx, term := range textutil.SplitCommaTerms(desc) {
-		for _, w := range NormalizeTokens(term) {
-			doc.set.Add(w)
-			if _, seen := doc.priority[w]; !seen {
-				doc.priority[w] = termIdx + 1
-			}
-			if w == "raw" {
-				doc.hasRaw = true
-			}
-		}
-	}
-	return doc
 }

@@ -1,0 +1,166 @@
+package match
+
+// Table-driven tie-break coverage: the total order Rank selects under is
+// score desc → RawBonus (§II-B(g)) → Priority asc (§II-B(h)) → SR index
+// (§II-B(i)). These invariants guard the bounded-heap selection rewrite:
+// a heap that compared any key in the wrong order or dropped a tie level
+// would reorder one of these fixtures.
+
+import (
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// tieDB is built so that the bare query "apple" scores 1.0 against every
+// food (ModifiedJaccard, |A| = 1), forcing the ranking to be decided
+// purely by the tie-break chain.
+func tieDB(t *testing.T) *usda.DB {
+	t.Helper()
+	return usda.MustNewDB([]usda.Food{
+		{NDB: 100, Desc: "Juice, apple"},             // pri 2, no raw
+		{NDB: 101, Desc: "Apple, juice"},             // pri 1, no raw
+		{NDB: 102, Desc: "Dessert, apple, raw"},      // pri 2, raw
+		{NDB: 103, Desc: "Apple, raw"},               // pri 1, raw
+		{NDB: 104, Desc: "Apple, juice concentrate"}, // pri 1, no raw (index tie with 101)
+	})
+}
+
+func rankNDBs(m *Matcher, q Query, k int) []int {
+	rs := m.Rank(q, k)
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.NDB
+	}
+	return out
+}
+
+func TestRankTieBreakChain(t *testing.T) {
+	db := tieDB(t)
+	cases := []struct {
+		name string
+		opts func() Options
+		k    int
+		want []int
+	}{
+		{
+			// Full chain: raw bonus dominates priority (102 with pri 2
+			// outranks 101 with pri 1), priority dominates index (101
+			// before 104's index-tie resolution — equal pri 1, so 101's
+			// earlier index wins), index last (101 before 104, 100 last).
+			name: "all heuristics, k=0 returns all",
+			opts: DefaultOptions,
+			k:    0,
+			want: []int{103, 102, 101, 104, 100},
+		},
+		{
+			name: "k=-1 also returns all",
+			opts: DefaultOptions,
+			k:    -1,
+			want: []int{103, 102, 101, 104, 100},
+		},
+		{
+			name: "k truncates after ordering",
+			opts: DefaultOptions,
+			k:    2,
+			want: []int{103, 102},
+		},
+		{
+			name: "k=1 is the Match result",
+			opts: DefaultOptions,
+			k:    1,
+			want: []int{103},
+		},
+		{
+			name: "k beyond candidate count returns all",
+			opts: DefaultOptions,
+			k:    50,
+			want: []int{103, 102, 101, 104, 100},
+		},
+		{
+			// Without the raw provision the bonus level vanishes and
+			// priority takes over: pri-1 docs in index order, then pri-2.
+			name: "raw provision off → priority then index",
+			opts: func() Options {
+				o := DefaultOptions()
+				o.RawProvision = false
+				return o
+			},
+			k:    0,
+			want: []int{101, 103, 104, 100, 102},
+		},
+		{
+			// Without priority resolution, raw bonus then pure SR index.
+			name: "priority off → raw bonus then index",
+			opts: func() Options {
+				o := DefaultOptions()
+				o.PriorityResolution = false
+				return o
+			},
+			k:    0,
+			want: []int{102, 103, 100, 101, 104},
+		},
+		{
+			// With both off, the §II-B(i) first-match rule alone: pure
+			// database order.
+			name: "raw and priority off → database order",
+			opts: func() Options {
+				o := DefaultOptions()
+				o.RawProvision = false
+				o.PriorityResolution = false
+				return o
+			},
+			k:    0,
+			want: []int{100, 101, 102, 103, 104},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(db, tc.opts())
+			got := rankNDBs(m, Query{Name: "apple"}, tc.k)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("position %d: got %v, want %v", i, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestRankScoreDominatesTieBreaks pins that every tie-break level only
+// applies between equal scores: a strictly better score wins even against
+// a raw-bonus, priority-1, index-0 rival.
+func TestRankScoreDominatesTieBreaks(t *testing.T) {
+	db := usda.MustNewDB([]usda.Food{
+		{NDB: 200, Desc: "Tomato, raw"},           // score 1/2, raw bonus, index 0
+		{NDB: 201, Desc: "Sauce, tomato, paste"},  // score 1, priority 5
+		{NDB: 202, Desc: "Tomato, paste, canned"}, // score 1, priority 3
+	})
+	m := NewDefault(db)
+	got := rankNDBs(m, Query{Name: "tomato paste"}, 0)
+	// 201 and 202 both match {tomato, paste} → score 1.0; 201 has
+	// priority 2+3=5, 202 has 1+2=3, so 202 first. 200 scores 0.5 and
+	// comes last despite its raw bonus and earlier index.
+	want := []int{202, 201, 200}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRawBonusNeverCreatesScore pins that the §II-B(g) provision is a
+// tie-break, not a score change: a query with a STATE entity gets no
+// bonus at all.
+func TestRawBonusSuppressedByState(t *testing.T) {
+	db := tieDB(t)
+	m := NewDefault(db)
+	for _, r := range m.Rank(Query{Name: "apple", State: "juice"}, 0) {
+		if r.RawBonus {
+			t.Fatalf("RawBonus set despite STATE entity: %+v", r)
+		}
+	}
+}

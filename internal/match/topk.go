@@ -1,0 +1,60 @@
+package match
+
+// cand is one scored candidate during selection: everything the total
+// order needs, in 24 bytes, with Result materialization deferred until
+// the final k are known.
+type cand struct {
+	score float64
+	pri   int32
+	doc   int32
+	raw   bool
+}
+
+// Bounded top-k selection. The arena's cands buffer holds the k best
+// candidates seen so far as a binary heap with the WORST at the root
+// (under the Matcher's `better` total order), so a streaming candidate
+// either loses one comparison against the bar at sel[0] or evicts it in
+// O(log k). sortCands then heap-sorts the survivors into best-first
+// order — because `better` is a strict total order (the database index
+// key is unique), this is the unique ordering sort.Slice produced, so
+// the rewrite cannot perturb results.
+
+// heapifyWorst establishes the worst-at-root invariant over sel.
+func heapifyWorst(sel []cand, m *Matcher) {
+	for i := len(sel)/2 - 1; i >= 0; i-- {
+		siftWorst(sel, i, len(sel), m)
+	}
+}
+
+// siftWorst restores the invariant below index i within sel[:n]: a
+// parent must rank below (be worse than) both children.
+func siftWorst(sel []cand, i, n int, m *Matcher) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		worst := l
+		if r := l + 1; r < n && m.better(sel[l], sel[r]) {
+			worst = r
+		}
+		if m.better(sel[worst], sel[i]) {
+			return // parent already worse than its worst child
+		}
+		sel[i], sel[worst] = sel[worst], sel[i]
+		i = worst
+	}
+}
+
+// sortCands orders sel best-first (index 0 = top result) by heapsort:
+// repeatedly swap the worst survivor to the tail and re-sift.
+func sortCands(sel []cand, m *Matcher) {
+	if len(sel) < 2 {
+		return
+	}
+	heapifyWorst(sel, m)
+	for end := len(sel) - 1; end > 0; end-- {
+		sel[0], sel[end] = sel[end], sel[0]
+		siftWorst(sel, 0, end, m)
+	}
+}

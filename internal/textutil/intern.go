@@ -1,0 +1,121 @@
+package textutil
+
+import "slices"
+
+// Interner assigns dense uint32 term IDs to strings in first-encounter
+// order. The matcher interns every normalized description word once at
+// build time, then scores queries entirely in ID space: posting lists,
+// document word sets and accumulator arrays are all indexed by these
+// IDs, so the hot path never hashes or compares strings.
+//
+// Interner is not synchronized: intern during single-threaded
+// construction, then share read-only (Lookup, Term, Len, Terms are pure
+// reads) across any number of goroutines.
+type Interner struct {
+	ids   map[string]uint32
+	terms []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// Intern returns the ID for term, assigning the next dense ID on first
+// sight.
+func (in *Interner) Intern(term string) uint32 {
+	if id, ok := in.ids[term]; ok {
+		return id
+	}
+	id := uint32(len(in.terms))
+	in.ids[term] = id
+	in.terms = append(in.terms, term)
+	return id
+}
+
+// Lookup returns the ID for term without assigning one.
+func (in *Interner) Lookup(term string) (uint32, bool) {
+	id, ok := in.ids[term]
+	return id, ok
+}
+
+// Term returns the string for a previously assigned ID.
+func (in *Interner) Term(id uint32) string { return in.terms[id] }
+
+// Len returns the number of interned terms.
+func (in *Interner) Len() int { return len(in.terms) }
+
+// Terms returns the interned terms in ID order. The slice is the
+// interner's backing store: callers must treat it as read-only.
+func (in *Interner) Terms() []string { return in.terms }
+
+// IDSet is a sorted, duplicate-free slice of term IDs — the interned
+// counterpart of Set. Sorted storage makes membership a binary search
+// and intersection/union a linear merge, with no hashing and no map
+// iteration (so results are deterministic by construction).
+type IDSet []uint32
+
+// NewIDSet sorts and deduplicates ids in place and returns the
+// (possibly shortened) set view of the same backing array.
+func NewIDSet(ids []uint32) IDSet { return SortDedupIDs(ids) }
+
+// SortDedupIDs sorts ids ascending and removes duplicates in place.
+func SortDedupIDs(ids []uint32) []uint32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	slices.Sort(ids)
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[w-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}
+
+// Has reports membership by binary search.
+func (s IDSet) Has(id uint32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == id
+}
+
+// Len returns |S|.
+func (s IDSet) Len() int { return len(s) }
+
+// IntersectLen returns |s ∩ t| by merging the two sorted sets.
+func (s IDSet) IntersectLen(t IDSet) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// UnionLen returns |s ∪ t|.
+func (s IDSet) UnionLen(t IDSet) int {
+	return len(s) + len(t) - s.IntersectLen(t)
+}
+
+// ContainsAll reports t ⊆ s.
+func (s IDSet) ContainsAll(t IDSet) bool {
+	return s.IntersectLen(t) == len(t)
+}

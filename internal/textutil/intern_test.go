@@ -1,0 +1,124 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInternerAssignsDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("butter")
+	b := in.Intern("salt")
+	if a != 0 || b != 1 {
+		t.Fatalf("IDs not dense: %d, %d", a, b)
+	}
+	if again := in.Intern("butter"); again != a {
+		t.Errorf("re-intern changed ID: %d vs %d", again, a)
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+	if in.Term(a) != "butter" || in.Term(b) != "salt" {
+		t.Errorf("Term round-trip failed: %q, %q", in.Term(a), in.Term(b))
+	}
+	if id, ok := in.Lookup("salt"); !ok || id != b {
+		t.Errorf("Lookup(salt) = %d, %v", id, ok)
+	}
+	if _, ok := in.Lookup("pepper"); ok {
+		t.Error("Lookup found un-interned term")
+	}
+	if got := in.Terms(); !reflect.DeepEqual(got, []string{"butter", "salt"}) {
+		t.Errorf("Terms = %v", got)
+	}
+}
+
+func TestSortDedupIDs(t *testing.T) {
+	cases := []struct {
+		in, want []uint32
+	}{
+		{nil, nil},
+		{[]uint32{5}, []uint32{5}},
+		{[]uint32{3, 1, 2}, []uint32{1, 2, 3}},
+		{[]uint32{2, 2, 2}, []uint32{2}},
+		{[]uint32{4, 1, 4, 1, 0}, []uint32{0, 1, 4}},
+	}
+	for _, c := range cases {
+		got := SortDedupIDs(append([]uint32(nil), c.in...))
+		if !reflect.DeepEqual([]uint32(got), c.want) {
+			t.Errorf("SortDedupIDs(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIDSetOps(t *testing.T) {
+	a := NewIDSet([]uint32{1, 3, 5, 7})
+	b := NewIDSet([]uint32{3, 4, 7, 9})
+	if got := a.IntersectLen(b); got != 2 {
+		t.Errorf("IntersectLen = %d, want 2", got)
+	}
+	if got := a.UnionLen(b); got != 6 {
+		t.Errorf("UnionLen = %d, want 6", got)
+	}
+	for _, id := range []uint32{1, 3, 5, 7} {
+		if !a.Has(id) {
+			t.Errorf("Has(%d) = false", id)
+		}
+	}
+	for _, id := range []uint32{0, 2, 8, 100} {
+		if a.Has(id) {
+			t.Errorf("Has(%d) = true", id)
+		}
+	}
+	if !a.ContainsAll(NewIDSet([]uint32{3, 7})) {
+		t.Error("ContainsAll subset = false")
+	}
+	if a.ContainsAll(b) {
+		t.Error("ContainsAll non-subset = true")
+	}
+	var empty IDSet
+	if empty.Has(0) || empty.IntersectLen(a) != 0 || !a.ContainsAll(empty) {
+		t.Error("empty-set ops wrong")
+	}
+}
+
+// The ID-space ops must agree with the string-space Set ops they replace.
+func TestIDSetMatchesStringSet(t *testing.T) {
+	in := NewInterner()
+	words := func(ws ...string) (Set, IDSet) {
+		ids := make([]uint32, len(ws))
+		for i, w := range ws {
+			ids[i] = in.Intern(w)
+		}
+		return NewSet(ws), NewIDSet(ids)
+	}
+	sa, ia := words("butter", "not", "salt", "butter")
+	sb, ib := words("salt", "milk", "not")
+	if sa.IntersectLen(sb) != ia.IntersectLen(ib) {
+		t.Errorf("IntersectLen diverges: %d vs %d", sa.IntersectLen(sb), ia.IntersectLen(ib))
+	}
+	if sa.UnionLen(sb) != ia.UnionLen(ib) {
+		t.Errorf("UnionLen diverges: %d vs %d", sa.UnionLen(sb), ia.UnionLen(ib))
+	}
+	if sa.Len() != ia.Len() {
+		t.Errorf("Len diverges: %d vs %d", sa.Len(), ia.Len())
+	}
+}
+
+func TestAppendWordsReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 8)
+	got := AppendWords(buf, "2 cups all-purpose flour")
+	want := []string{"cups", "all-purpose", "flour"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendWords = %v, want %v", got, want)
+	}
+	// Appending reuses the same backing array when capacity suffices.
+	if &buf[:1][0] != &got[:1][0] {
+		t.Error("AppendWords reallocated despite sufficient capacity")
+	}
+	// Words and AppendWords(nil, ...) agree with Tokenize-based filtering.
+	for _, s := range []string{"1/2 lb lean ground beef", "Milk, fluid, 2% milkfat", "", "🍎 2 apples"} {
+		if !reflect.DeepEqual(Words(s), AppendWords(nil, s)) {
+			t.Errorf("Words/AppendWords diverge on %q", s)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package textutil
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // fractionGlyphs maps unicode vulgar-fraction code points to their ASCII
@@ -25,8 +26,13 @@ var fractionGlyphs = map[rune]string{
 
 // ExpandFractions rewrites unicode vulgar-fraction glyphs as ASCII
 // fractions, inserting a space before the glyph when it directly follows a
-// digit so that "1½" becomes the mixed number "1 1/2".
+// digit so that "1½" becomes the mixed number "1 1/2". Strings without a
+// glyph (the overwhelmingly common case) are returned unchanged without
+// allocating.
 func ExpandFractions(s string) string {
+	if !containsFractionGlyph(s) {
+		return s
+	}
 	var b strings.Builder
 	b.Grow(len(s))
 	prevDigit := false
@@ -45,65 +51,117 @@ func ExpandFractions(s string) string {
 	return b.String()
 }
 
+// containsFractionGlyph reports whether s contains any vulgar-fraction
+// rune. Every glyph is multi-byte, so the pure-ASCII prefix is skipped
+// bytewise before any rune decoding happens.
+func containsFractionGlyph(s string) bool {
+	i := 0
+	for i < len(s) && s[i] < utf8.RuneSelf {
+		i++
+	}
+	for _, r := range s[i:] {
+		if _, ok := fractionGlyphs[r]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // Tokenize splits a phrase into lower-cased tokens. Alphabetic runs,
 // numeric runs (including fractions "1/2", decimals "2.5" and ranges
 // "2-4"), and single punctuation marks each form one token. Hyphenated
 // words such as "hard-cooked" and "all-purpose" are kept together, matching
 // how the paper's Table I treats them as single STATE/NAME words.
 func Tokenize(s string) []string {
+	return appendTokens(nil, s, false)
+}
+
+// AppendTokens is Tokenize appending into dst, so callers on hot paths
+// can reuse one scratch slice across phrases instead of allocating a
+// fresh token slice per call.
+func AppendTokens(dst []string, s string) []string {
+	return appendTokens(dst, s, false)
+}
+
+// appendTokens walks the string directly with utf8.DecodeRuneInString and
+// slices the original string for each token — no []rune conversion, no
+// rune re-encoding. Already-lowercase tokens (the typical case for both
+// recipe phrases and normalized queries) are emitted as zero-copy
+// substrings because strings.ToLower returns its input unchanged when
+// there is nothing to fold.
+func appendTokens(dst []string, s string, wordsOnly bool) []string {
 	s = ExpandFractions(s)
-	var toks []string
-	rs := []rune(s)
-	i := 0
-	for i < len(rs) {
-		r := rs[i]
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
 		switch {
 		case unicode.IsSpace(r):
-			i++
+			i += size
 		case unicode.IsDigit(r):
-			j := i
-			for j < len(rs) && (unicode.IsDigit(rs[j]) || rs[j] == '.' || rs[j] == '/' ||
-				(rs[j] == '-' && j+1 < len(rs) && unicode.IsDigit(rs[j+1]))) {
-				j++
+			j := i + size
+			for j < len(s) {
+				r2, sz2 := utf8.DecodeRuneInString(s[j:])
+				if unicode.IsDigit(r2) || r2 == '.' || r2 == '/' {
+					j += sz2
+					continue
+				}
+				if r2 == '-' {
+					if r3, _ := utf8.DecodeRuneInString(s[j+sz2:]); unicode.IsDigit(r3) {
+						j += sz2
+						continue
+					}
+				}
+				break
 			}
-			toks = append(toks, strings.ToLower(string(rs[i:j])))
+			if !wordsOnly {
+				dst = append(dst, strings.ToLower(s[i:j]))
+			}
 			i = j
 		case unicode.IsLetter(r):
-			j := i
-			for j < len(rs) && (unicode.IsLetter(rs[j]) || rs[j] == '\'' ||
-				(rs[j] == '-' && j+1 < len(rs) && unicode.IsLetter(rs[j+1]))) {
-				j++
+			j := i + size
+			for j < len(s) {
+				r2, sz2 := utf8.DecodeRuneInString(s[j:])
+				if unicode.IsLetter(r2) || r2 == '\'' {
+					j += sz2
+					continue
+				}
+				if r2 == '-' {
+					if r3, _ := utf8.DecodeRuneInString(s[j+sz2:]); unicode.IsLetter(r3) {
+						j += sz2
+						continue
+					}
+				}
+				break
 			}
-			toks = append(toks, strings.ToLower(string(rs[i:j])))
+			dst = append(dst, strings.ToLower(s[i:j]))
 			i = j
 		case r == '%':
-			toks = append(toks, "%")
-			i++
+			if !wordsOnly {
+				dst = append(dst, "%")
+			}
+			i += size
 		default:
 			// Punctuation: emit commas (description-term separators) and
 			// drop everything else as noise, e.g. the quote marks in the
 			// USDA unit `pat (1" sq, 1/3" high)`.
-			if r == ',' || r == '(' || r == ')' {
-				toks = append(toks, string(r))
+			if !wordsOnly && (r == ',' || r == '(' || r == ')') {
+				dst = append(dst, s[i:i+size])
 			}
-			i++
+			i += size
 		}
 	}
-	return toks
+	return dst
 }
 
 // Words returns only the alphabetic tokens of a phrase (lower-cased),
 // dropping numbers and punctuation. This is the preprocessing base for
 // Jaccard word sets (§II-B(e)).
 func Words(s string) []string {
-	toks := Tokenize(s)
-	out := toks[:0:0]
-	for _, t := range toks {
-		if isWordToken(t) {
-			out = append(out, t)
-		}
-	}
-	return out
+	return appendTokens(nil, s, true)
+}
+
+// AppendWords is Words appending into dst (see AppendTokens).
+func AppendWords(dst []string, s string) []string {
+	return appendTokens(dst, s, true)
 }
 
 func isWordToken(t string) bool {
