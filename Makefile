@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke bench-json
+.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke bench-json cover-check serve-smoke
 
 all: build vet test
 
 # Mirror of .github/workflows/ci.yml: what CI runs, runnable locally.
-ci: fmt-check build vet test race
+ci: fmt-check build vet test race cover-check
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -46,7 +46,8 @@ bench-json:
 experiments:
 	$(GO) run ./cmd/experiments -run all
 
-# Short fuzzing pass over every parser surface.
+# Short fuzzing pass over every parser surface, including the HTTP
+# request decoders (arbitrary bodies through the full serving path).
 fuzz:
 	$(GO) test -fuzz FuzzParseQuantity -fuzztime 15s ./internal/units/
 	$(GO) test -fuzz FuzzParseServings -fuzztime 15s ./internal/units/
@@ -54,6 +55,44 @@ fuzz:
 	$(GO) test -fuzz FuzzTokenize -fuzztime 15s ./internal/textutil/
 	$(GO) test -fuzz FuzzExpandFractions -fuzztime 15s ./internal/textutil/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/recipedb/
+	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 15s -run xxx ./internal/server/
+	$(GO) test -fuzz FuzzRecipeHandler -fuzztime 15s -run xxx ./internal/server/
+
+# Per-package coverage floor for the packages whose regressions hurt
+# most in production: the serving layer and the core pipeline.
+COVER_FLOOR ?= 60
+cover-check:
+	@set -e; for pkg in ./internal/server ./internal/core; do \
+		out=$$($(GO) test -cover $$pkg); echo "$$out"; \
+		pct=$$(echo "$$out" | awk '{for(i=1;i<=NF;i++) if($$i=="coverage:"){gsub("%","",$$(i+1)); print $$(i+1)}}'); \
+		if [ -z "$$pct" ]; then echo "cover-check: no coverage reported for $$pkg" >&2; exit 1; fi; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p+0 >= f+0)}'; then \
+			echo "cover-check: $$pkg coverage $$pct% below floor $(COVER_FLOOR)%" >&2; exit 1; \
+		fi; \
+	done; echo "cover-check: all floors met (>= $(COVER_FLOOR)%)"
+
+# Boot nutriserve, curl all four routes, verify exit codes, then check
+# SIGTERM drains cleanly. The end-to-end smoke CI runs on every push.
+SMOKE_ADDR ?= 127.0.0.1:18080
+serve-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/nutriserve ./cmd/nutriserve; \
+	/tmp/nutriserve -addr $(SMOKE_ADDR) -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(SMOKE_ADDR)/v1/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "serve-smoke: server never became healthy" >&2; exit 1; }; \
+	curl -fsS http://$(SMOKE_ADDR)/v1/healthz; echo; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"phrase":"2 cups all-purpose flour"}' http://$(SMOKE_ADDR)/v1/estimate >/dev/null; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"ingredients":["2 cups flour","1 cup sugar","2 eggs"],"servings":4,"method":"baked"}' \
+		http://$(SMOKE_ADDR)/v1/recipe >/dev/null; \
+	curl -fsS http://$(SMOKE_ADDR)/v1/stats >/dev/null; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "serve-smoke: all four routes OK, SIGTERM drained cleanly"
 
 clean:
 	$(GO) clean ./...

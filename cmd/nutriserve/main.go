@@ -1,0 +1,90 @@
+// Command nutriserve serves the estimation pipeline over HTTP — the
+// online counterpart of the one-shot nutriprofile CLI.
+//
+// Routes:
+//
+//	POST /v1/estimate  {"phrase": "2 cups flour"}           → per-phrase pipeline trace
+//	POST /v1/recipe    {"ingredients": [...], "servings": 4, "method": "baked"}
+//	                                                        → aggregated recipe profile
+//	GET  /v1/healthz                                        → liveness probe
+//	GET  /v1/stats                                          → memo/matcher/HTTP counters
+//
+// The server sheds load above -max-in-flight concurrent estimation
+// requests (429 + Retry-After; it never queues unboundedly), bounds
+// request bodies at -max-body bytes (413), deadlines every request at
+// -timeout (504), and on SIGINT/SIGTERM stops accepting connections and
+// drains in-flight requests for up to -drain before exiting.
+//
+// Usage:
+//
+//	nutriserve -addr :8080 -cache 8192 -workers 0 -max-in-flight 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/server"
+	"nutriprofile/internal/usda"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInFlight := flag.Int("max-in-flight", 64, "admitted estimation requests before load shedding (429)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	workers := flag.Int("workers", 0, "ingredient worker pool per recipe (0: one per CPU)")
+	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
+	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
+	fuzzy := flag.Bool("fuzzy", false, "enable typo-tolerant matching")
+	quiet := flag.Bool("quiet", false, "disable per-request access logging")
+	flag.Parse()
+
+	db := usda.Seed()
+	if *regional {
+		db = usda.WithRegional()
+	}
+	est, err := core.New(db, nil, core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize})
+	if err != nil {
+		log.Fatalf("nutriserve: %v", err)
+	}
+
+	var access *log.Logger
+	if !*quiet {
+		access = log.New(os.Stdout, "", log.LstdFlags|log.Lmicroseconds)
+	}
+	srv, err := server.New(server.Config{
+		Estimator:      est,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *workers,
+		RetryAfter:     *retryAfter,
+		AccessLog:      access,
+	})
+	if err != nil {
+		log.Fatalf("nutriserve: %v", err)
+	}
+
+	// SIGINT/SIGTERM flips the serve context; Serve then drains
+	// in-flight requests before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("nutriserve: listening on %s (max-in-flight=%d timeout=%s cache=%d foods=%d)",
+		*addr, *maxInFlight, *timeout, *cacheSize, db.Len())
+	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "nutriserve: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("nutriserve: drained, exiting")
+}

@@ -6,6 +6,9 @@ package core
 // without giving up determinism.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,12 +37,27 @@ func normWorkers(workers, items int) int {
 // Indices are handed out by an atomic counter, so the pool stays busy
 // even when per-item cost is skewed (cache hits vs full matches).
 func (e *Estimator) forEachIndex(n, workers int, fn func(int)) {
+	e.forEachIndexCtx(context.Background(), n, workers, fn)
+}
+
+// forEachIndexCtx is forEachIndex with cancellation: once ctx is done,
+// workers stop claiming new indices and the call returns ctx's error.
+// Items already in flight run to completion (per-item work is
+// microseconds; there is no partial-item state to unwind), so the
+// cancellation latency is one item per worker.
+func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func(int)) error {
 	workers = normWorkers(workers, n)
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -48,6 +66,11 @@ func (e *Estimator) forEachIndex(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -57,6 +80,7 @@ func (e *Estimator) forEachIndex(n, workers int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // EstimateBatch estimates every phrase concurrently with one worker per
@@ -79,6 +103,57 @@ func (e *Estimator) EstimateBatchWorkers(phrases []string, workers int) []Ingred
 		out[i] = e.EstimateIngredient(phrases[i])
 	})
 	return out
+}
+
+// EstimateBatchContext is EstimateBatchWorkers with cancellation: when
+// ctx is cancelled (or its deadline passes) mid-batch, workers stop
+// claiming new phrases and the call returns ctx's error with a nil
+// slice. Results are only valid when err == nil — a cancelled batch has
+// estimated an unpredictable prefix of the input. This is the entry
+// point the serving layer uses so an abandoned HTTP request stops
+// consuming pipeline workers.
+func (e *Estimator) EstimateBatchContext(ctx context.Context, phrases []string, workers int) ([]IngredientResult, error) {
+	if len(phrases) == 0 {
+		return nil, nil
+	}
+	out := make([]IngredientResult, len(phrases))
+	if err := e.forEachIndexCtx(ctx, len(phrases), workers, func(i int) {
+		out[i] = e.EstimateIngredient(phrases[i])
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EstimateRecipeContext is EstimateRecipeConcurrent with cancellation
+// propagated into the ingredient worker pool (see EstimateBatchContext).
+// The returned error is ctx.Err() on cancellation, or the recipe
+// validation error; the result is identical to the sequential path when
+// err == nil.
+func (e *Estimator) EstimateRecipeContext(ctx context.Context, phrases []string, servings, workers int) (RecipeResult, error) {
+	if len(phrases) == 0 {
+		return RecipeResult{}, errors.New("core: recipe has no ingredients")
+	}
+	if servings <= 0 {
+		return RecipeResult{}, fmt.Errorf("core: invalid servings %d", servings)
+	}
+	ingredients, err := e.EstimateBatchContext(ctx, phrases, workers)
+	if err != nil {
+		return RecipeResult{}, err
+	}
+	return aggregateRecipe(ingredients, servings), nil
+}
+
+// EstimateRecipeCookedContext is EstimateRecipeContext followed by the
+// cooking-yield correction of the given method (see EstimateRecipeCooked).
+func (e *Estimator) EstimateRecipeCookedContext(ctx context.Context, phrases []string, servings int, m yield.Method, workers int) (RecipeResult, error) {
+	out, err := e.EstimateRecipeContext(ctx, phrases, servings, workers)
+	if err != nil {
+		return out, err
+	}
+	out.Total = yield.Apply(out.Total, m)
+	out.PerServing = yield.Apply(out.PerServing, m)
+	return out, nil
 }
 
 // RecipeInput is one recipe for batch estimation.

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEstimateBatchContextMatchesSequential pins the context path to the
+// plain batch path on a live context.
+func TestEstimateBatchContextMatchesSequential(t *testing.T) {
+	e := NewDefault()
+	phrases := []string{
+		"2 cups all-purpose flour",
+		"1 cup sugar",
+		"2 eggs",
+		"1/2 cup butter , softened",
+		"1 tsp salt",
+	}
+	want := e.EstimateBatchWorkers(phrases, 1)
+	got, err := e.EstimateBatchContext(context.Background(), phrases, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Grams != want[i].Grams || got[i].Profile != want[i].Profile || got[i].Mapped != want[i].Mapped {
+			t.Fatalf("phrase %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEstimateBatchContextEmpty(t *testing.T) {
+	e := NewDefault()
+	got, err := e.EstimateBatchContext(context.Background(), nil, 4)
+	if got != nil || err != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+// TestEstimateBatchContextCancelled pre-cancels the context: no phrase
+// may be estimated and the context error must surface.
+func TestEstimateBatchContextCancelled(t *testing.T) {
+	e := NewDefault()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		got, err := e.EstimateBatchContext(ctx, []string{"1 cup sugar", "2 eggs"}, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err %v, want context.Canceled", workers, err)
+		}
+		if got != nil {
+			t.Fatalf("workers=%d: expected nil results on cancellation", workers)
+		}
+	}
+}
+
+// TestEstimateBatchContextCancelMidway cancels from inside the work
+// function and asserts the pool stops claiming new items well short of
+// the full batch.
+func TestEstimateBatchContextCancelMidway(t *testing.T) {
+	e := NewDefault()
+	const n = 10000
+	phrases := make([]string, n)
+	for i := range phrases {
+		phrases[i] = "1 cup sugar"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := e.forEachIndexCtx(ctx, n, 4, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	// Each of the 4 workers can finish at most the item it already
+	// claimed; anything near n means cancellation did not propagate.
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("ran %d of %d items after cancellation", got, n)
+	}
+}
+
+func TestEstimateRecipeContextValidation(t *testing.T) {
+	e := NewDefault()
+	if _, err := e.EstimateRecipeContext(context.Background(), nil, 4, 0); err == nil {
+		t.Fatal("expected error for empty recipe")
+	}
+	if _, err := e.EstimateRecipeContext(context.Background(), []string{"salt"}, 0, 0); err == nil {
+		t.Fatal("expected error for zero servings")
+	}
+}
+
+// TestEstimateRecipeContextDeadline gives a huge recipe a 1ns budget.
+func TestEstimateRecipeContextDeadline(t *testing.T) {
+	e := NewDefault()
+	phrases := make([]string, 256)
+	for i := range phrases {
+		phrases[i] = "2 cups flour"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	_, err := e.EstimateRecipeContext(ctx, phrases, 4, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEstimateRecipeContextMatchesPlain pins context and plain recipe
+// paths to identical results.
+func TestEstimateRecipeContextMatchesPlain(t *testing.T) {
+	e := NewDefault()
+	phrases := []string{"2 cups all-purpose flour", "1 cup sugar", "2 eggs"}
+	want, err := e.EstimateRecipe(phrases, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EstimateRecipeContext(context.Background(), phrases, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != want.Total || got.PerServing != want.PerServing || got.MappedFraction != want.MappedFraction {
+		t.Fatalf("context recipe diverges: %+v vs %+v", got, want)
+	}
+}

@@ -453,14 +453,15 @@ func (m *Matcher) MatchName(name string) (Result, bool) {
 func (m *Matcher) DB() *usda.DB { return m.db }
 
 // MatcherStats describes the interned index and the arena pool, for
-// observability (cmd/nutriprofile -stats).
+// observability (cmd/nutriprofile -stats, nutriserve GET /v1/stats —
+// the JSON tags are that endpoint's wire form).
 type MatcherStats struct {
-	Docs           int    // documents (food descriptions) indexed
-	VocabSize      int    // distinct interned terms
-	PostingLists   int    // non-empty posting lists (== VocabSize here)
-	PostingEntries int    // total (term, doc) postings
-	PoolGets       uint64 // arena checkouts (one per query)
-	PoolMisses     uint64 // checkouts that had to allocate a fresh arena
+	Docs           int    `json:"docs"`            // documents (food descriptions) indexed
+	VocabSize      int    `json:"vocab_size"`      // distinct interned terms
+	PostingLists   int    `json:"posting_lists"`   // non-empty posting lists (== VocabSize here)
+	PostingEntries int    `json:"posting_entries"` // total (term, doc) postings
+	PoolGets       uint64 `json:"pool_gets"`       // arena checkouts (one per query)
+	PoolMisses     uint64 `json:"pool_misses"`     // checkouts that had to allocate a fresh arena
 }
 
 // PoolHitRate returns the fraction of queries served by a recycled

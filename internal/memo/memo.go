@@ -28,12 +28,16 @@ import (
 // goroutines while wasting little memory on tiny caches.
 const DefaultShards = 16
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters and shape.
+// The struct marshals directly to JSON — it is the wire form the
+// serving layer's GET /v1/stats exposes.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int // current number of cached entries across all shards
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`  // current cached entries across all shards
+	Capacity  int    `json:"capacity"` // total capacity (0: cache stores nothing)
+	Shards    int    `json:"shards"`   // shard count (power of two)
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -195,14 +199,25 @@ func (c *Cache[V]) Purge() {
 	}
 }
 
+// Capacity returns the total entry capacity across all shards (the
+// per-shard capacity times the shard count, which is what eviction
+// actually enforces — it may exceed the capacity passed to New due to
+// per-shard rounding).
+func (c *Cache[V]) Capacity() int {
+	return c.shards[0].capacity * len(c.shards)
+}
+
 // Stats snapshots the counters. The snapshot is not atomic across
-// counters under concurrent load, which is fine for monitoring.
+// counters under concurrent load, which is fine for monitoring; each
+// individual counter is monotonic.
 func (c *Cache[V]) Stats() Stats {
 	return Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   c.Len(),
+		Capacity:  c.Capacity(),
+		Shards:    len(c.shards),
 	}
 }
 

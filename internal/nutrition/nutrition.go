@@ -18,18 +18,19 @@ import (
 // Profile holds nutrient amounts. In a food-composition table a Profile is
 // per 100 g; after scaling it is per actual ingredient amount or per
 // recipe/serving. Units follow USDA-SR conventions.
+// The JSON tags are the serving layer's wire form (nutriserve).
 type Profile struct {
-	EnergyKcal float64 // kcal
-	ProteinG   float64 // g
-	FatG       float64 // g
-	CarbsG     float64 // g
-	FiberG     float64 // g
-	SugarG     float64 // g
-	CalciumMg  float64 // mg
-	IronMg     float64 // mg
-	SodiumMg   float64 // mg
-	VitCMg     float64 // mg
-	CholMg     float64 // mg
+	EnergyKcal float64 `json:"energy_kcal"`
+	ProteinG   float64 `json:"protein_g"`
+	FatG       float64 `json:"fat_g"`
+	CarbsG     float64 `json:"carbs_g"`
+	FiberG     float64 `json:"fiber_g"`
+	SugarG     float64 `json:"sugar_g"`
+	CalciumMg  float64 `json:"calcium_mg"`
+	IronMg     float64 `json:"iron_mg"`
+	SodiumMg   float64 `json:"sodium_mg"`
+	VitCMg     float64 `json:"vitc_mg"`
+	CholMg     float64 `json:"chol_mg"`
 }
 
 // Scale returns the profile multiplied by factor. Scaling a per-100 g

@@ -1,0 +1,134 @@
+package server
+
+// FuzzEstimateHandler drives arbitrary bodies through the full request
+// path — decoder, admission, deadline, pipeline — and enforces the API's
+// two hard invariants: the handler never panics (a panic would fail the
+// fuzz run), and every non-200 response carries a structured ErrorBody
+// with a stable code. Wired into the nightly fuzz job via `make fuzz`.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/usda"
+)
+
+// fuzzServer is shared across fuzz iterations: building the seed DB and
+// matcher per-exec would dominate the fuzzing budget.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func sharedFuzzServer(f *testing.F) *Server {
+	fuzzOnce.Do(func() {
+		est, err := core.New(usda.Seed(), nil, core.Options{CacheSize: 4096})
+		if err != nil {
+			f.Fatal(err)
+		}
+		fuzzSrv, err = New(Config{Estimator: est, MaxBodyBytes: 1 << 16})
+		if err != nil {
+			f.Fatal(err)
+		}
+	})
+	return fuzzSrv
+}
+
+func FuzzEstimateHandler(f *testing.F) {
+	f.Add([]byte(`{"phrase":"2 cups all-purpose flour"}`))
+	f.Add([]byte(`{"phrase":""}`))
+	f.Add([]byte(`{"phrase":"500 cups sugar or 250 g"}`))
+	f.Add([]byte(`{"phrase":"1 ½ cups milk"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"phrase": 42}`))
+	f.Add([]byte(`{"phrase":"salt","unknown":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(strings.Repeat(`{"phrase":"a`, 500)))
+	f.Add([]byte(`{"phrase":"` + strings.Repeat("flour ", 2000) + `"}`))
+
+	s := sharedFuzzServer(f)
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/estimate", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req) // must not panic for any body
+
+		switch {
+		case w.Code == http.StatusOK:
+			var resp EstimateResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body is not an EstimateResponse: %v (body %q)", err, w.Body.String())
+			}
+			if strings.TrimSpace(resp.Phrase) == "" {
+				t.Fatalf("200 for an empty phrase: request %q", body)
+			}
+		default:
+			var eb ErrorBody
+			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("status %d body is not a structured error: %v (body %q, request %q)",
+					w.Code, err, w.Body.String(), body)
+			}
+			if eb.Error.Code == "" || eb.Error.Message == "" {
+				t.Fatalf("status %d error body missing code/message: %+v (request %q)", w.Code, eb, body)
+			}
+			if eb.Error.Status != w.Code {
+				t.Fatalf("error body status %d disagrees with response status %d", eb.Error.Status, w.Code)
+			}
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("non-200 Content-Type %q", ct)
+			}
+		}
+	})
+}
+
+// FuzzRecipeHandler applies the same invariants to the batch route,
+// whose decoder surface (arrays, servings, method) is wider.
+func FuzzRecipeHandler(f *testing.F) {
+	f.Add([]byte(`{"ingredients":["2 cups flour","1 cup sugar"],"servings":4}`))
+	f.Add([]byte(`{"ingredients":[]}`))
+	f.Add([]byte(`{"ingredients":["salt"],"servings":-1}`))
+	f.Add([]byte(`{"ingredients":["salt"],"method":"vaporized"}`))
+	f.Add([]byte(`{"ingredients":["salt"],"method":"baked"}`))
+	f.Add([]byte(`{"ingredients":[""],"servings":1}`))
+	f.Add([]byte(`{"ingredients":"flour"}`))
+	f.Add([]byte(`{"servings":2}`))
+
+	s := sharedFuzzServer(f)
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/recipe", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		if w.Code == http.StatusOK {
+			var resp RecipeResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body is not a RecipeResponse: %v", err)
+			}
+			if resp.Servings <= 0 || len(resp.Ingredients) == 0 {
+				t.Fatalf("200 with invalid shape: %+v (request %q)", resp, body)
+			}
+			return
+		}
+		var eb ErrorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("status %d body is not a structured error (body %q, request %q)", w.Code, w.Body.String(), body)
+		}
+		if eb.Error.Code == "" || eb.Error.Status != w.Code {
+			t.Fatalf("malformed error body %+v for status %d", eb, w.Code)
+		}
+	})
+}

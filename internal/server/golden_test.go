@@ -1,0 +1,181 @@
+package server
+
+// End-to-end golden harness: the committed 25-recipe corpus
+// (testdata/corpus.json) is driven through a real httptest.Server via
+// POST /v1/recipe and every response is compared field-by-field against
+// the committed golden profiles (testdata/golden.json). The pipeline is
+// deterministic — worker pools return input-ordered, byte-identical
+// results — so the comparison is exact, no tolerances.
+//
+// Regenerate after an intentional pipeline change with:
+//
+//	go test ./internal/server/ -run TestGoldenCorpus -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nutriprofile/internal/nutrition"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json from current responses")
+
+// corpusFile mirrors testdata/corpus.json.
+type corpusFile struct {
+	Recipes []corpusRecipe `json:"recipes"`
+}
+
+type corpusRecipe struct {
+	Name        string   `json:"name"`
+	Servings    int      `json:"servings"`
+	Method      string   `json:"method,omitempty"`
+	Ingredients []string `json:"ingredients"`
+}
+
+// goldenEntry is one recipe's pinned response.
+type goldenEntry struct {
+	Name     string         `json:"name"`
+	Response RecipeResponse `json:"response"`
+}
+
+func loadCorpus(t *testing.T) []corpusRecipe {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "corpus.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf corpusFile
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		t.Fatalf("corpus.json: %v", err)
+	}
+	if len(cf.Recipes) != 25 {
+		t.Fatalf("corpus has %d recipes, want 25", len(cf.Recipes))
+	}
+	return cf.Recipes
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	recipes := loadCorpus(t)
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	got := make([]goldenEntry, 0, len(recipes))
+	for _, rec := range recipes {
+		body, err := json.Marshal(RecipeRequest{
+			Ingredients: rec.Ingredients,
+			Servings:    rec.Servings,
+			Method:      rec.Method,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/recipe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", rec.Name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", rec.Name, resp.StatusCode)
+		}
+		var rr RecipeResponse
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", rec.Name, err)
+		}
+		got = append(got, goldenEntry{Name: rec.Name, Response: rr})
+	}
+
+	goldenPath := filepath.Join("testdata", "golden.json")
+	if *update {
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("golden.json: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d entries, corpus produced %d", len(want), len(got))
+	}
+	for i := range want {
+		compareRecipe(t, want[i], got[i])
+	}
+}
+
+// compareRecipe diffs one recipe field-by-field so a regression names
+// the exact divergent field instead of dumping two JSON blobs.
+func compareRecipe(t *testing.T, want, got goldenEntry) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Errorf("entry order: golden %q vs corpus %q", want.Name, got.Name)
+		return
+	}
+	w, g := want.Response, got.Response
+	pre := want.Name + ": "
+	if g.Servings != w.Servings {
+		t.Errorf("%sservings %d, want %d", pre, g.Servings, w.Servings)
+	}
+	if g.Method != w.Method {
+		t.Errorf("%smethod %q, want %q", pre, g.Method, w.Method)
+	}
+	if g.MappedFraction != w.MappedFraction {
+		t.Errorf("%smapped_fraction %v, want %v", pre, g.MappedFraction, w.MappedFraction)
+	}
+	compareProfile(t, pre+"total", w.Total, g.Total)
+	compareProfile(t, pre+"per_serving", w.PerServing, g.PerServing)
+	if len(g.Ingredients) != len(w.Ingredients) {
+		t.Errorf("%s%d ingredients, want %d", pre, len(g.Ingredients), len(w.Ingredients))
+		return
+	}
+	for i := range w.Ingredients {
+		wi, gi := w.Ingredients[i], g.Ingredients[i]
+		ipre := fmt.Sprintf("%singredient[%d] %q: ", pre, i, wi.Phrase)
+		if gi.Phrase != wi.Phrase {
+			t.Errorf("%sphrase %q", ipre, gi.Phrase)
+		}
+		if gi.Matched != wi.Matched || gi.NDB != wi.NDB || gi.Description != wi.Description {
+			t.Errorf("%smatch (%v, %d, %q), want (%v, %d, %q)",
+				ipre, gi.Matched, gi.NDB, gi.Description, wi.Matched, wi.NDB, wi.Description)
+		}
+		if gi.Score != wi.Score {
+			t.Errorf("%sscore %v, want %v", ipre, gi.Score, wi.Score)
+		}
+		if gi.Quantity != wi.Quantity || gi.Unit != wi.Unit {
+			t.Errorf("%squantity/unit (%v, %q), want (%v, %q)", ipre, gi.Quantity, gi.Unit, wi.Quantity, wi.Unit)
+		}
+		if gi.UnitOrigin != wi.UnitOrigin || gi.GramsVia != wi.GramsVia {
+			t.Errorf("%sorigin/via (%s, %s), want (%s, %s)", ipre, gi.UnitOrigin, gi.GramsVia, wi.UnitOrigin, wi.GramsVia)
+		}
+		if gi.Grams != wi.Grams || gi.Mapped != wi.Mapped {
+			t.Errorf("%sgrams/mapped (%v, %v), want (%v, %v)", ipre, gi.Grams, gi.Mapped, wi.Grams, wi.Mapped)
+		}
+		compareProfile(t, ipre+"profile", wi.Profile, gi.Profile)
+	}
+}
+
+func compareProfile(t *testing.T, label string, want, got nutrition.Profile) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s = %+v, want %+v", label, got, want)
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+// Route handlers and their wire types. Conventions: every response body
+// is JSON; every non-200 body is an ErrorBody whose code is a stable
+// machine-readable string (the fuzz harness enforces this invariant for
+// arbitrary inputs).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/memo"
+	"nutriprofile/internal/metrics"
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/yield"
+)
+
+// ErrorBody is the structured error wrapper on every non-200 response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable error.
+type ErrorDetail struct {
+	Code    string `json:"code"` // stable identifier: bad_request, overloaded, timeout, ...
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Status: status, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeJSON reads one JSON value from the (size-limited) body, mapping
+// failure classes onto the structured error vocabulary.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		switch {
+		case errors.As(err, &maxErr):
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		default:
+			writeError(w, http.StatusBadRequest, "bad_json", "request body is not valid JSON for this route: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// EstimateRequest is the POST /v1/estimate body.
+type EstimateRequest struct {
+	Phrase string `json:"phrase"`
+}
+
+// EstimateResponse is the pipeline trace for one ingredient phrase.
+type EstimateResponse struct {
+	Phrase      string            `json:"phrase"`
+	Matched     bool              `json:"matched"`
+	NDB         int               `json:"ndb,omitempty"`
+	Description string            `json:"description,omitempty"`
+	Score       float64           `json:"score,omitempty"`
+	Quantity    float64           `json:"quantity"`
+	Unit        string            `json:"unit,omitempty"`
+	UnitOrigin  string            `json:"unit_origin"`
+	GramsVia    string            `json:"grams_via"`
+	Grams       float64           `json:"grams"`
+	Mapped      bool              `json:"mapped"`
+	Profile     nutrition.Profile `json:"profile"`
+}
+
+func toEstimateResponse(r core.IngredientResult) EstimateResponse {
+	out := EstimateResponse{
+		Phrase:     r.Phrase,
+		Matched:    r.Matched,
+		Quantity:   r.Quantity,
+		Unit:       r.Unit,
+		UnitOrigin: r.UnitOrigin.String(),
+		GramsVia:   r.GramsVia.String(),
+		Grams:      r.Grams,
+		Mapped:     r.Mapped,
+		Profile:    r.Profile,
+	}
+	if r.Matched {
+		out.NDB = r.Match.NDB
+		out.Description = r.Match.Desc
+		out.Score = r.Match.Score
+	}
+	return out
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Phrase) == "" {
+		writeError(w, http.StatusBadRequest, "empty_phrase", `"phrase" must be a non-empty ingredient phrase`)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		writeTimeout(w, err)
+		return
+	}
+	writeJSON(w, toEstimateResponse(s.est.EstimateIngredient(req.Phrase)))
+}
+
+// RecipeRequest is the POST /v1/recipe body.
+type RecipeRequest struct {
+	// Ingredients are the recipe's ingredient phrases, one per line.
+	Ingredients []string `json:"ingredients"`
+	// Servings defaults to 1.
+	Servings int `json:"servings,omitempty"`
+	// Method optionally names a cooking method ("baked", "boiled", ...)
+	// to apply the cooking-yield correction to the totals. Unknown
+	// names are rejected.
+	Method string `json:"method,omitempty"`
+}
+
+// RecipeResponse aggregates a recipe estimate.
+type RecipeResponse struct {
+	Servings       int                `json:"servings"`
+	Method         string             `json:"method"`
+	MappedFraction float64            `json:"mapped_fraction"`
+	Total          nutrition.Profile  `json:"total"`
+	PerServing     nutrition.Profile  `json:"per_serving"`
+	Ingredients    []EstimateResponse `json:"ingredients"`
+}
+
+func (s *Server) handleRecipe(w http.ResponseWriter, r *http.Request) {
+	var req RecipeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ingredients) == 0 {
+		writeError(w, http.StatusBadRequest, "no_ingredients", `"ingredients" must list at least one phrase`)
+		return
+	}
+	if req.Servings == 0 {
+		req.Servings = 1
+	}
+	if req.Servings < 0 {
+		writeError(w, http.StatusBadRequest, "bad_servings", fmt.Sprintf("servings must be positive, got %d", req.Servings))
+		return
+	}
+	method := yield.None
+	if name := strings.ToLower(strings.TrimSpace(req.Method)); name != "" {
+		method = yield.ParseMethod(name)
+		if method == yield.None && name != yield.None.String() {
+			writeError(w, http.StatusBadRequest, "bad_method", fmt.Sprintf("unknown cooking method %q", req.Method))
+			return
+		}
+	}
+
+	res, err := s.est.EstimateRecipeCookedContext(r.Context(), req.Ingredients, req.Servings, method, s.cfg.Workers)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeTimeout(w, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_recipe", err.Error())
+		return
+	}
+
+	out := RecipeResponse{
+		Servings:       res.Servings,
+		Method:         method.String(),
+		MappedFraction: res.MappedFraction,
+		Total:          res.Total,
+		PerServing:     res.PerServing,
+		Ingredients:    make([]EstimateResponse, len(res.Ingredients)),
+	}
+	for i, ing := range res.Ingredients {
+		out.Ingredients[i] = toEstimateResponse(ing)
+	}
+	writeJSON(w, out)
+}
+
+// writeTimeout maps a context error to the wire: 504 for an expired
+// deadline (the request exceeded RequestTimeout), 499-style 503 when
+// the client went away or the server is draining.
+func writeTimeout(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request exceeded the per-request deadline")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled before completion")
+}
+
+// HealthzResponse is the GET /v1/healthz body.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	Foods  int    `json:"foods"` // composition-table size, a cheap liveness probe of the pipeline
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthzResponse{Status: "ok", Foods: s.est.DB().Len()})
+}
+
+// StatsResponse is the GET /v1/stats body: the full observability
+// surface of one serving process.
+type StatsResponse struct {
+	Memo struct {
+		Phrase memo.Stats `json:"phrase"`
+		Match  memo.Stats `json:"match"`
+	} `json:"memo"`
+	Matcher match.MatcherStats `json:"matcher"`
+	HTTP    metrics.Snapshot   `json:"http"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var out StatsResponse
+	out.Memo.Phrase, out.Memo.Match = s.est.CacheStats()
+	out.Matcher = s.est.MatcherStats()
+	out.HTTP = s.reg.Snapshot()
+	writeJSON(w, out)
+}

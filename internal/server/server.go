@@ -1,0 +1,241 @@
+// Package server is the nutriserve HTTP serving layer: a stdlib-only
+// JSON API over the core estimation pipeline, shaped for production
+// traffic rather than demos. Every request passes through the same
+// middleware stack — body-size limit, admission control, per-request
+// deadline, metrics, structured access log — and every non-200 response
+// carries a machine-readable error body.
+//
+// Admission control is a bounded semaphore over the two estimation
+// routes: when MaxInFlight requests are already in the pipeline, new
+// work is shed immediately with 429 + Retry-After instead of queuing
+// unboundedly (queuing under overload only converts load into latency
+// and memory; shedding keeps the served requests fast). /v1/healthz and
+// /v1/stats bypass admission so probes and scrapes stay responsive
+// exactly when the pipeline is saturated — the moment operators need
+// them.
+//
+// Shutdown is graceful: Serve stops accepting connections on context
+// cancellation (SIGTERM in cmd/nutriserve), drains in-flight requests
+// up to the drain timeout, then exits. See DESIGN.md §9.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nutriprofile/internal/core"
+	"nutriprofile/internal/metrics"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// production-safe default; only Estimator is required.
+type Config struct {
+	// Estimator is the shared pipeline. Required.
+	Estimator *core.Estimator
+	// MaxInFlight bounds concurrently admitted estimation requests
+	// (/v1/estimate + /v1/recipe combined). Excess load is shed with
+	// 429. Default 64.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline; it propagates through
+	// the request context into core's batch workers, so an expired
+	// recipe stops consuming pipeline capacity. Default 5s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; larger bodies get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// Workers is the per-recipe ingredient worker pool size passed to
+	// core (0: one per CPU).
+	Workers int
+	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// AccessLog receives one structured line per request; nil disables
+	// access logging.
+	AccessLog *log.Logger
+	// Registry collects request metrics; a fresh one is created when nil.
+	Registry *metrics.Registry
+}
+
+func (c *Config) fill() error {
+	if c.Estimator == nil {
+		return errors.New("server: Config.Estimator is required")
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	return nil
+}
+
+// Server serves the nutriserve API. Construct with New; a Server is
+// safe for concurrent use and its Handler may back any number of
+// listeners.
+type Server struct {
+	cfg Config
+	est *core.Estimator
+	reg *metrics.Registry
+	// sem is the admission semaphore: a request holds one slot for its
+	// full pipeline residence. Acquisition never blocks — a full
+	// semaphore sheds the request.
+	sem chan struct{}
+
+	// testHookAdmitted, when set, runs after a request is admitted and
+	// before the pipeline runs — test seam for holding slots open to
+	// force deterministic sheds.
+	testHookAdmitted func(route string)
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg: cfg,
+		est: cfg.Estimator,
+		reg: cfg.Registry,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// Registry exposes the metrics registry backing /v1/stats.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the route mux with the full middleware stack applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/estimate", s.instrument("/v1/estimate", true, s.handleEstimate))
+	mux.Handle("POST /v1/recipe", s.instrument("/v1/recipe", true, s.handleRecipe))
+	mux.Handle("GET /v1/healthz", s.instrument("/v1/healthz", false, s.handleHealthz))
+	mux.Handle("GET /v1/stats", s.instrument("/v1/stats", false, s.handleStats))
+	return mux
+}
+
+// statusRecorder captures the status code and body size for metrics and
+// access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a route handler with the middleware stack: metrics +
+// access log always; body limit, admission control and the per-request
+// deadline only on estimation routes (admitted == true).
+func (s *Server) instrument(route string, admitted bool, h http.HandlerFunc) http.Handler {
+	rt := s.reg.Route(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.reg.IncInFlight()
+		defer func() {
+			s.reg.DecInFlight()
+			d := time.Since(start)
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			rt.Observe(rec.status, d)
+			if lg := s.cfg.AccessLog; lg != nil {
+				lg.Printf("method=%s route=%s status=%d bytes=%d dur_ms=%.3f remote=%s",
+					r.Method, route, rec.status, rec.bytes, float64(d)/float64(time.Millisecond), r.RemoteAddr)
+			}
+		}()
+
+		if !admitted {
+			h(rec, r)
+			return
+		}
+
+		// Shed before reading the body: a rejected request should cost
+		// nothing but the header parse.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.reg.AddShed()
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeError(rec, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("server at capacity (%d requests in flight); retry later", s.cfg.MaxInFlight))
+			return
+		}
+		if hook := s.testHookAdmitted; hook != nil {
+			hook(route)
+		}
+
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(rec, r.WithContext(ctx))
+	})
+}
+
+// Serve runs the API on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to drain to complete, and stragglers are cut off. The returned
+// error is nil on a clean drain, context.DeadlineExceeded when the
+// drain timed out, or the listener failure that stopped the server.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	// Shutdown (below) stops the listener but does not cancel in-flight
+	// request contexts, so admitted work finishes within the drain
+	// window — the ordering DESIGN.md §9 documents.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	// Serve always returns ErrServerClosed after Shutdown; swallow it.
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}
+
+// ListenAndServe is Serve over a fresh TCP listener on addr.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drain)
+}
