@@ -34,10 +34,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Measure the perf-gated benchmarks (matching + batch estimation) and
-# emit the BENCH_match.json artifact the nightly workflow archives.
+# Measure the perf-gated benchmarks (matching, batch estimation, and the
+# pooled NLP front-end) and emit the BENCH_match.json artifact the
+# nightly workflow archives.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch' \
+	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch|BenchmarkTagPhrase|BenchmarkPipelineScratch' \
 		-benchmem -benchtime=1s ./internal/match/ . | tee bench_match.txt
 	$(GO) run ./cmd/benchjson -in bench_match.txt -o BENCH_match.json
 	@rm -f bench_match.txt
@@ -54,6 +55,7 @@ fuzz:
 	$(GO) test -fuzz FuzzNormalize -fuzztime 15s ./internal/units/
 	$(GO) test -fuzz FuzzTokenize -fuzztime 15s ./internal/textutil/
 	$(GO) test -fuzz FuzzExpandFractions -fuzztime 15s ./internal/textutil/
+	$(GO) test -fuzz FuzzPipelineScratch -fuzztime 15s ./internal/pipeline/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/recipedb/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 15s -run xxx ./internal/server/
 	$(GO) test -fuzz FuzzRecipeHandler -fuzztime 15s -run xxx ./internal/server/

@@ -14,7 +14,9 @@ import (
 	"nutriprofile/internal/experiments"
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/ner"
+	"nutriprofile/internal/pipeline"
 	"nutriprofile/internal/recipedb"
+	"nutriprofile/internal/textutil"
 	"nutriprofile/internal/usda"
 )
 
@@ -277,6 +279,82 @@ func BenchmarkNER_RuleTagger(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ner.Extract(rt, "3/4 cup butter or 3/4 cup margarine , softened")
+	}
+}
+
+// BenchmarkTagPhrase measures one phrase through the NER decode path —
+// the Viterbi hot loop the scratch arena rebuilt — for both the rule
+// tagger and a perceptron model, allocating vs scratch variants.
+func BenchmarkTagPhrase(b *testing.B) {
+	phrases := batchCorpus(b, 50)
+	var rt ner.RuleTagger
+	examples := make([]ner.Example, 0, 200)
+	tokenized := make([][]string, len(phrases))
+	for i, p := range phrases {
+		tokenized[i] = textutil.Tokenize(p)
+		if len(examples) < 200 && len(tokenized[i]) > 0 {
+			examples = append(examples, ner.Example{Tokens: tokenized[i], Labels: rt.Tag(tokenized[i])})
+		}
+	}
+	model, err := ner.Train(examples, ner.TrainConfig{Epochs: 2, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rule_alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rt.Tag(tokenized[i%len(tokenized)])
+		}
+	})
+	b.Run("rule_scratch", func(b *testing.B) {
+		var sc ner.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rt.TagScratch(tokenized[i%len(tokenized)], &sc)
+		}
+	})
+	b.Run("model_alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			model.Tag(tokenized[i%len(tokenized)])
+		}
+	})
+	b.Run("model_scratch", func(b *testing.B) {
+		var sc ner.Scratch
+		model.TagScratch(tokenized[0], &sc) // compile outside the loop
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			model.TagScratch(tokenized[i%len(tokenized)], &sc)
+		}
+	})
+}
+
+// BenchmarkPipelineScratch measures the whole NLP front-end (tokenize →
+// POS-tag → lemma → NER → unit lookups → cache keys) on one warm
+// Scratch — the per-phrase cost a batch worker pays on a cache miss.
+// The allocs/op column is the tentpole's budget: 0 on warm phrases.
+func BenchmarkPipelineScratch(b *testing.B) {
+	phrases := batchCorpus(b, 50)
+	var rt ner.RuleTagger
+	sc := pipeline.Get()
+	defer pipeline.Put(sc)
+	for _, p := range phrases {
+		sc.Run(rt, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := phrases[i%len(phrases)]
+		sc.Tokenize(p)
+		sc.Tag()
+		sc.Lemmas()
+		ex := sc.Extract(rt)
+		for j := range sc.Tokens() {
+			sc.UnitFor(j)
+		}
+		sc.PhraseKey()
+		sc.JoinKey(ex.Name, ex.State, ex.Temp, ex.DryFresh)
 	}
 }
 

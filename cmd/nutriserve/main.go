@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +49,7 @@ func main() {
 	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
 	fuzzy := flag.Bool("fuzzy", false, "enable typo-tolerant matching")
 	quiet := flag.Bool("quiet", false, "disable per-request access logging")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	db := usda.Seed()
@@ -73,6 +76,25 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("nutriserve: %v", err)
+	}
+
+	// Profiling listener, off by default and always separate from the
+	// serving listener so the debug surface is never exposed on the
+	// public address. Routes are registered on a private mux — the
+	// default mux stays empty.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("nutriserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("nutriserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	// SIGINT/SIGTERM flips the serve context; Serve then drains

@@ -15,6 +15,7 @@ import (
 
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
+	"nutriprofile/internal/pipeline"
 	"nutriprofile/internal/yield"
 )
 
@@ -33,10 +34,13 @@ func normWorkers(workers, items int) int {
 	return workers
 }
 
-// forEachIndex runs fn(i) for i in [0, n) on a bounded worker pool.
+// forEachIndex runs fn(i, sc) for i in [0, n) on a bounded worker pool.
 // Indices are handed out by an atomic counter, so the pool stays busy
-// even when per-item cost is skewed (cache hits vs full matches).
-func (e *Estimator) forEachIndex(n, workers int, fn func(int)) {
+// even when per-item cost is skewed (cache hits vs full matches). Each
+// worker checks one pipeline.Scratch out of the pool and reuses it for
+// every index it claims, so per-phrase NLP state is allocated (at most)
+// once per worker rather than once per phrase.
+func (e *Estimator) forEachIndex(n, workers int, fn func(int, *pipeline.Scratch)) {
 	e.forEachIndexCtx(context.Background(), n, workers, fn)
 }
 
@@ -45,17 +49,19 @@ func (e *Estimator) forEachIndex(n, workers int, fn func(int)) {
 // Items already in flight run to completion (per-item work is
 // microseconds; there is no partial-item state to unwind), so the
 // cancellation latency is one item per worker.
-func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func(int)) error {
+func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func(int, *pipeline.Scratch)) error {
 	workers = normWorkers(workers, n)
 	done := ctx.Done()
 	if workers == 1 {
+		sc := pipeline.Get()
+		defer pipeline.Put(sc)
 		for i := 0; i < n; i++ {
 			select {
 			case <-done:
 				return ctx.Err()
 			default:
 			}
-			fn(i)
+			fn(i, sc)
 		}
 		return nil
 	}
@@ -65,6 +71,8 @@ func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			sc := pipeline.Get()
+			defer pipeline.Put(sc)
 			for {
 				select {
 				case <-done:
@@ -75,7 +83,7 @@ func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i, sc)
 			}
 		}()
 	}
@@ -99,8 +107,8 @@ func (e *Estimator) EstimateBatchWorkers(phrases []string, workers int) []Ingred
 		return nil
 	}
 	out := make([]IngredientResult, len(phrases))
-	e.forEachIndex(len(phrases), workers, func(i int) {
-		out[i] = e.EstimateIngredient(phrases[i])
+	e.forEachIndex(len(phrases), workers, func(i int, sc *pipeline.Scratch) {
+		out[i] = e.estimateCached(phrases[i], sc)
 	})
 	return out
 }
@@ -117,8 +125,8 @@ func (e *Estimator) EstimateBatchContext(ctx context.Context, phrases []string, 
 		return nil, nil
 	}
 	out := make([]IngredientResult, len(phrases))
-	if err := e.forEachIndexCtx(ctx, len(phrases), workers, func(i int) {
-		out[i] = e.EstimateIngredient(phrases[i])
+	if err := e.forEachIndexCtx(ctx, len(phrases), workers, func(i int, sc *pipeline.Scratch) {
+		out[i] = e.estimateCached(phrases[i], sc)
 	}); err != nil {
 		return nil, err
 	}
@@ -182,7 +190,8 @@ func (e *Estimator) EstimateRecipes(recipes []RecipeInput, workers int) []Recipe
 		return nil
 	}
 	out := make([]RecipeOutcome, len(recipes))
-	e.forEachIndex(len(recipes), workers, func(i int) {
+	e.forEachIndex(len(recipes), workers, func(i int, _ *pipeline.Scratch) {
+		// The recipe's own ingredient batch acquires per-worker scratches.
 		r := recipes[i]
 		out[i].Result, out[i].Err = e.EstimateRecipeCooked(r.Phrases, r.Servings, r.Method)
 	})

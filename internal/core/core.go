@@ -8,14 +8,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
 	"nutriprofile/internal/ner"
 	"nutriprofile/internal/nutrition"
-	"nutriprofile/internal/textutil"
+	"nutriprofile/internal/pipeline"
 	"nutriprofile/internal/units"
 	"nutriprofile/internal/usda"
 	"nutriprofile/internal/yield"
@@ -225,40 +224,49 @@ type RecipeResult struct {
 // read-only when caching is enabled — they are shared with every other
 // caller that hits the same entry.
 func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
+	sc := pipeline.Get()
+	defer pipeline.Put(sc)
+	return e.estimateCached(phrase, sc)
+}
+
+// estimateCached is EstimateIngredient on a caller-owned scratch: the
+// batch workers hold one scratch for their whole shard instead of
+// cycling the pool per phrase. The cache key is the normalized token
+// stream (rendered in the scratch, probed without allocating), the exact
+// input every downstream stage consumes.
+func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch) IngredientResult {
 	if e.phraseCache == nil {
-		return e.estimateIngredient(phrase)
+		return e.estimateIngredient(phrase, sc)
 	}
-	key := phraseKey(phrase)
-	if r, ok := e.phraseCache.Get(key); ok {
+	sc.Tokenize(phrase)
+	key := sc.PhraseKey()
+	if r, ok := e.phraseCache.GetBytes(key); ok {
 		// The cached computation is keyed on the token stream; only the
 		// verbatim Phrase field can differ.
 		r.Phrase = phrase
 		return r
 	}
-	r := e.estimateIngredient(phrase)
-	e.phraseCache.Put(key, r)
+	r := e.estimateTokenized(phrase, sc)
+	// key still aliases the scratch (nothing downstream of Tokenize
+	// touches the phrase-key buffer); materialize it only on this miss
+	// path.
+	e.phraseCache.Put(string(key), r)
 	return r
-}
-
-// phraseKey normalizes a phrase to its token stream, the exact input
-// every downstream stage (NER, matching, unit search) consumes.
-func phraseKey(phrase string) string {
-	return strings.Join(textutil.Tokenize(phrase), " ")
 }
 
 // matchQuery runs the configured description match, memoized when the
 // match cache is enabled. Matching reads only the immutable Matcher, so
 // entries never need invalidation.
-func (e *Estimator) matchQuery(q match.Query) (match.Result, bool) {
+func (e *Estimator) matchQuery(q match.Query, sc *pipeline.Scratch) (match.Result, bool) {
 	if e.matchCache == nil {
 		return e.rawMatch(q)
 	}
-	key := q.Name + "\x1f" + q.State + "\x1f" + q.Temp + "\x1f" + q.DryFresh
-	if h, ok := e.matchCache.Get(key); ok {
+	key := sc.JoinKey(q.Name, q.State, q.Temp, q.DryFresh)
+	if h, ok := e.matchCache.GetBytes(key); ok {
 		return h.res, h.ok
 	}
 	res, ok := e.rawMatch(q)
-	e.matchCache.Put(key, matchHit{res: res, ok: ok})
+	e.matchCache.Put(string(key), matchHit{res: res, ok: ok})
 	return res, ok
 }
 
@@ -270,9 +278,16 @@ func (e *Estimator) rawMatch(q match.Query) (match.Result, bool) {
 }
 
 // estimateIngredient is the uncached pipeline.
-func (e *Estimator) estimateIngredient(phrase string) IngredientResult {
+func (e *Estimator) estimateIngredient(phrase string, sc *pipeline.Scratch) IngredientResult {
+	sc.Tokenize(phrase)
+	return e.estimateTokenized(phrase, sc)
+}
+
+// estimateTokenized runs the pipeline over the phrase already tokenized
+// into sc (by estimateCached or estimateIngredient).
+func (e *Estimator) estimateTokenized(phrase string, sc *pipeline.Scratch) IngredientResult {
 	res := IngredientResult{Phrase: phrase}
-	res.Extraction = ner.Extract(e.tagger, phrase)
+	res.Extraction = sc.Extract(e.tagger)
 	if res.Extraction.Name == "" {
 		return res
 	}
@@ -283,7 +298,7 @@ func (e *Estimator) estimateIngredient(phrase string) IngredientResult {
 		Temp:     res.Extraction.Temp,
 		DryFresh: res.Extraction.DryFresh,
 	}
-	m, ok := e.matchQuery(q)
+	m, ok := e.matchQuery(q, sc)
 	if !ok {
 		return res
 	}
@@ -291,7 +306,7 @@ func (e *Estimator) estimateIngredient(phrase string) IngredientResult {
 	food, _ := e.db.ByNDB(m.NDB)
 
 	res.Quantity = e.quantity(res.Extraction.Quantity)
-	e.resolveUnit(&res, food)
+	e.resolveUnit(&res, food, sc)
 	if res.Grams > 0 {
 		res.Profile = food.Per100g.ForGrams(res.Grams)
 		res.Mapped = true
@@ -313,10 +328,10 @@ func (e *Estimator) quantity(raw string) float64 {
 }
 
 // resolveUnit runs the §II-C fallback chain, filling Unit, UnitOrigin,
-// GramsVia and Grams.
-func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food) {
-	tokens := textutil.Tokenize(res.Phrase)
-
+// GramsVia and Grams. The phrase's tokens are already in sc; entity
+// fields resolve through their recorded first-word index and the
+// scratch's memoized unit lookups instead of re-tokenizing.
+func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food, sc *pipeline.Scratch) {
 	try := func(unit string, origin UnitOrigin, qty float64) bool {
 		grams, via := e.gramsFor(food, unit, qty)
 		if grams <= 0 {
@@ -328,7 +343,7 @@ func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food) {
 			}
 			// §II-C threshold: implausibly heavy lines ("500 cups") are
 			// re-paired by scanning for an adjacent quantity+unit pair.
-			if g2, u2, q2, ok := e.repair(food, tokens); ok && g2 <= e.opts.MaxGramsPerLine {
+			if g2, u2, q2, ok := e.repair(food, sc); ok && g2 <= e.opts.MaxGramsPerLine {
 				res.Unit, res.UnitOrigin, res.GramsVia = u2, UnitSearched, GramsWeightRow
 				res.Quantity, res.Grams = q2, g2
 				if _, exact := food.GramsForUnit(u2); !exact {
@@ -343,9 +358,20 @@ func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food) {
 		return true
 	}
 
+	// entityUnit resolves an entity field as a unit. Normalize takes the
+	// field's first alphabetic word, which is exactly the token whose
+	// index AssembleScratch recorded — so the memoized per-token lookup
+	// gives the identical result without re-tokenizing the field.
+	entityUnit := func(l ner.Label) (string, bool) {
+		if idx := sc.NER.FirstWordIndex(l); idx >= 0 {
+			return sc.UnitFor(idx)
+		}
+		return "", false
+	}
+
 	// 1. The NER UNIT entity.
 	if res.Extraction.Unit != "" {
-		if name, known := units.Normalize(res.Extraction.Unit); known {
+		if name, known := entityUnit(ner.Unit); known {
 			if try(name, UnitNER, res.Quantity) {
 				return
 			}
@@ -353,18 +379,24 @@ func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food) {
 	}
 	// 2. The NER SIZE entity doubles as a unit (§II-C).
 	if res.Extraction.Size != "" {
-		if name, known := units.Normalize(res.Extraction.Size); known {
+		if name, known := entityUnit(ner.Size); known {
 			if try(name, UnitSize, res.Quantity) {
 				return
 			}
 		}
 	}
-	// 3. Phrase scan for any known unit.
+	// 3. Phrase scan for the first token resolving to a known unit
+	// (units.FindInPhrase, through the scratch's memoized lookups).
 	if !e.opts.DisablePhraseSearch {
-		if name, _, ok := units.FindInPhrase(tokens); ok {
+		for i := range sc.Tokens() {
+			name, known := sc.UnitFor(i)
+			if !known {
+				continue
+			}
 			if try(name, UnitSearched, res.Quantity) {
 				return
 			}
+			break // first known unit only, as FindInPhrase returns
 		}
 	}
 	// 4. Most frequent unit for this ingredient.
@@ -378,8 +410,8 @@ func (e *Estimator) resolveUnit(res *IngredientResult, food *usda.Food) {
 	// 5. The food's first RESOLVABLE weight row (SR rows with unit
 	// spellings outside the alias inventory are skipped).
 	if !e.opts.DisableDefaultRow {
-		for _, wRow := range food.Weights {
-			name, known := units.Normalize(wRow.Unit)
+		for i := range food.Weights {
+			name, known := food.WeightUnit(i)
 			if !known {
 				continue
 			}
@@ -414,8 +446,8 @@ func (e *Estimator) gramsFor(food *usda.Food, unit string, qty float64) (float64
 	case units.Volume:
 		// Bridge through any volume row in the food's weight table
 		// (§II-C: add teaspoon for butter via the cup row).
-		for _, w := range food.Weights {
-			name, known := units.Normalize(w.Unit)
+		for i, w := range food.Weights {
+			name, known := food.WeightUnit(i)
 			if !known {
 				continue
 			}
@@ -435,13 +467,14 @@ func (e *Estimator) gramsFor(food *usda.Food, unit string, qty float64) (float64
 // repair scans for adjacent (quantity, unit) token pairs and returns the
 // first pair that yields a plausible gram weight — the semi-automated
 // recovery for dual-unit phrases like "500 g or 1 cup".
-func (e *Estimator) repair(food *usda.Food, tokens []string) (grams float64, unit string, qty float64, ok bool) {
+func (e *Estimator) repair(food *usda.Food, sc *pipeline.Scratch) (grams float64, unit string, qty float64, ok bool) {
+	tokens := sc.Tokens()
 	for i := 0; i+1 < len(tokens); i++ {
 		q, err := units.ParseQuantity(tokens[i])
 		if err != nil || q <= 0 {
 			continue
 		}
-		name, known := units.Normalize(tokens[i+1])
+		name, known := sc.UnitFor(i + 1)
 		if !known {
 			continue
 		}
@@ -484,11 +517,11 @@ func (e *Estimator) ObserveUnits(phrases []string) {
 		unit string
 	}
 	observations := make([]obs, len(phrases))
-	e.forEachIndex(len(phrases), 0, func(i int) {
+	e.forEachIndex(len(phrases), 0, func(i int, sc *pipeline.Scratch) {
 		// Bypass the phrase cache: a cached most-frequent-unit result
 		// never contributes, and observation must not pollute the cache
 		// with entries that this very pass is about to invalidate.
-		r := e.estimateIngredient(phrases[i])
+		r := e.estimateIngredient(phrases[i], sc)
 		if !r.Matched || r.Unit == "" {
 			return
 		}

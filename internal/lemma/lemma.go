@@ -228,21 +228,47 @@ func Word(word string) string { return Lemmatize(word, Noun) }
 
 // Phrase lemmatizes every token of a pre-tokenized phrase as nouns.
 func Phrase(tokens []string) []string {
-	out := make([]string, len(tokens))
-	for i, t := range tokens {
-		out[i] = Word(t)
+	return LemmaInto(make([]string, 0, len(tokens)), tokens)
+}
+
+// LemmaInto is Phrase appending into dst, so hot paths can reuse one
+// lemma buffer across phrases. Tokens that are already base forms (the
+// common case) are appended as-is — zero copies, zero allocations.
+func LemmaInto(dst []string, tokens []string) []string {
+	for _, t := range tokens {
+		dst = append(dst, Word(t))
 	}
-	return out
+	return dst
+}
+
+// nounTable merges nounExceptions with the invariants (mapped to
+// themselves) so lemmatizeNoun resolves both irregular classes in one
+// probe. Exceptions win on overlap ("molasses" appears in both, mapping
+// to itself either way), matching the original lookup order.
+var nounTable = make(map[string]string, len(nounExceptions)+len(invariants))
+
+func init() {
+	for w, l := range nounExceptions {
+		nounTable[w] = l
+	}
+	for w := range invariants {
+		if _, ok := nounTable[w]; !ok {
+			nounTable[w] = w
+		}
+	}
 }
 
 func lemmatizeNoun(w string) string {
-	if lemma, ok := nounExceptions[w]; ok {
+	if lemma, ok := nounTable[w]; ok {
 		return lemma
 	}
-	if invariants[w] {
+	if len(w) < 3 {
 		return w
 	}
-	if len(w) < 3 {
+	// Every noun detachment suffix ends in 's' except "men", so any other
+	// ending can skip the rule scan entirely. This is the zero-copy fast
+	// path: the typical already-singular token returns here untouched.
+	if last := w[len(w)-1]; last != 's' && !(last == 'n' && strings.HasSuffix(w, "men")) {
 		return w
 	}
 	for _, r := range nounRules {

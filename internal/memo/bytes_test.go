@@ -1,0 +1,86 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGetBytesMatchesGet: the byte-key probe must be observably
+// identical to Get — same shard, same hit/miss outcome, same counters,
+// same LRU recency effect.
+func TestGetBytesMatchesGet(t *testing.T) {
+	c := New[int](64)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		sv, sok := c.Get(key)
+		bv, bok := c.GetBytes([]byte(key))
+		if sv != bv || sok != bok {
+			t.Fatalf("key %q: Get = (%d, %v), GetBytes = (%d, %v)", key, sv, sok, bv, bok)
+		}
+	}
+	if _, ok := c.GetBytes([]byte("absent")); ok {
+		t.Fatal("GetBytes(absent) hit")
+	}
+	if _, ok := c.GetBytes(nil); ok {
+		t.Fatal("GetBytes(nil) hit")
+	}
+	st := c.Stats()
+	// 32 string hits + 32 byte hits; 2 byte misses.
+	if st.Hits != 64 || st.Misses != 2 {
+		t.Fatalf("counters hits=%d misses=%d, want 64/2", st.Hits, st.Misses)
+	}
+}
+
+// TestGetBytesSharding: a key probed as bytes must land on the same
+// shard it was stored under as a string — pinned by filling far past
+// one shard's capacity and re-probing everything both ways.
+func TestGetBytesSharding(t *testing.T) {
+	const n = 500
+	c := New[int](2 * n)
+	for i := 0; i < n; i++ {
+		c.Put(fmt.Sprintf("ingredient-%d", i), i)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("ingredient-%d", i)
+		v, ok := c.GetBytes([]byte(key))
+		if !ok || v != i {
+			t.Fatalf("GetBytes(%q) = (%d, %v), want (%d, true)", key, v, ok, i)
+		}
+	}
+}
+
+// TestGetBytesRefreshesLRU: a byte-key hit must count as recency, same
+// as a string hit, so the entry survives a subsequent eviction wave.
+func TestGetBytesRefreshesLRU(t *testing.T) {
+	// One shard with room for two entries, so eviction order is
+	// observable without hunting for hash collisions.
+	c := NewSharded[int](2, 1)
+	c.Put("hot", 1)
+	c.Put("warm", 2)
+	if _, ok := c.GetBytes([]byte("hot")); !ok {
+		t.Fatal("hot evaporated")
+	}
+	// "warm" is now the least recently used entry; the next insert must
+	// evict it, not the byte-refreshed "hot".
+	c.Put("new", 3)
+	if _, ok := c.Get("hot"); !ok {
+		t.Fatal("hot evicted despite byte-key refresh")
+	}
+	if _, ok := c.Get("warm"); ok {
+		t.Fatal("warm survived; LRU did not account the byte-key hit")
+	}
+}
+
+// TestFnv1aBytesMatchesString: the two hash spellings must agree on
+// every key, or byte probes would look in the wrong shard.
+func TestFnv1aBytesMatchesString(t *testing.T) {
+	keys := []string{"", "a", "salt", "2 cups flour", "ingredient-42", "\x00\xff"}
+	for _, k := range keys {
+		if fnv1a(k) != fnv1aBytes([]byte(k)) {
+			t.Errorf("fnv1a(%q) = %d, fnv1aBytes = %d", k, fnv1a(k), fnv1aBytes([]byte(k)))
+		}
+	}
+}

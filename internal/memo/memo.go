@@ -122,6 +122,21 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
+// fnv1aBytes is fnv1a over a byte slice; same algorithm, so a string key
+// and its byte spelling always land on the same shard.
+func fnv1aBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}
+
 func (c *Cache[V]) shardFor(key string) *shard[V] {
 	return &c.shards[fnv1a(key)&c.mask]
 }
@@ -131,6 +146,28 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	e, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.moveToFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// GetBytes is Get with the key spelled as bytes, so hot paths can probe
+// with a scratch-assembled key without materializing a string: the
+// string conversions in the map index expressions below are recognized
+// by the compiler and do not allocate. Identical hit/miss, LRU and
+// counter behavior to Get(string(key)).
+func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
+	s := &c.shards[fnv1aBytes(key)&c.mask]
+	s.mu.Lock()
+	e, ok := s.m[string(key)]
 	if !ok {
 		s.mu.Unlock()
 		c.misses.Add(1)

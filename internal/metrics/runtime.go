@@ -1,0 +1,42 @@
+package metrics
+
+import "runtime"
+
+// RuntimeStats is a point-in-time view of the Go runtime's memory and
+// scheduler gauges — the numbers that tell an operator whether the
+// allocation-free pipeline is actually running allocation-free in
+// production. Marshals directly to JSON for GET /v1/stats.
+type RuntimeStats struct {
+	// HeapAllocBytes is the live heap (runtime.MemStats.HeapAlloc).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapInuseBytes is heap memory in in-use spans.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	// TotalAllocBytes is cumulative bytes allocated over the process
+	// lifetime (monotonic; the first derivative is the allocation rate).
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64 `json:"mallocs"`
+	// NumGC is the number of completed GC cycles.
+	NumGC uint32 `json:"num_gc"`
+	// GCPauseTotalMs is the cumulative stop-the-world pause time.
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	// Goroutines is the current goroutine count.
+	Goroutines int `json:"goroutines"`
+}
+
+// ReadRuntime samples the runtime gauges. It calls
+// runtime.ReadMemStats, which briefly stops the world — cheap enough for
+// a stats endpoint, too expensive for a per-request path.
+func ReadRuntime() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return RuntimeStats{
+		HeapAllocBytes:  m.HeapAlloc,
+		HeapInuseBytes:  m.HeapInuse,
+		TotalAllocBytes: m.TotalAlloc,
+		Mallocs:         m.Mallocs,
+		NumGC:           m.NumGC,
+		GCPauseTotalMs:  float64(m.PauseTotalNs) / 1e6,
+		Goroutines:      runtime.NumGoroutine(),
+	}
+}

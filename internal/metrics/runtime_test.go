@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestReadRuntime: the gauges must be populated and internally
+// consistent — a running process has a live heap, cumulative allocation
+// at least the live heap, and at least one goroutine.
+func TestReadRuntime(t *testing.T) {
+	rs := ReadRuntime()
+	if rs.HeapAllocBytes == 0 {
+		t.Error("HeapAllocBytes = 0")
+	}
+	if rs.TotalAllocBytes < rs.HeapAllocBytes {
+		t.Errorf("TotalAllocBytes %d < HeapAllocBytes %d", rs.TotalAllocBytes, rs.HeapAllocBytes)
+	}
+	if rs.Mallocs == 0 {
+		t.Error("Mallocs = 0")
+	}
+	if rs.Goroutines < 1 {
+		t.Errorf("Goroutines = %d", rs.Goroutines)
+	}
+	if rs.GCPauseTotalMs < 0 {
+		t.Errorf("GCPauseTotalMs = %v", rs.GCPauseTotalMs)
+	}
+}
+
+// TestReadRuntimeMonotonic: cumulative counters never decrease between
+// samples.
+func TestReadRuntimeMonotonic(t *testing.T) {
+	a := ReadRuntime()
+	_ = make([]byte, 1<<16) // force some allocation between samples
+	b := ReadRuntime()
+	if b.TotalAllocBytes < a.TotalAllocBytes {
+		t.Errorf("TotalAllocBytes decreased: %d → %d", a.TotalAllocBytes, b.TotalAllocBytes)
+	}
+	if b.Mallocs < a.Mallocs {
+		t.Errorf("Mallocs decreased: %d → %d", a.Mallocs, b.Mallocs)
+	}
+	if b.NumGC < a.NumGC {
+		t.Errorf("NumGC decreased: %d → %d", a.NumGC, b.NumGC)
+	}
+}
+
+// TestRuntimeStatsJSON: the stats endpoint marshals the gauges under
+// stable snake_case keys.
+func TestRuntimeStatsJSON(t *testing.T) {
+	raw, err := json.Marshal(ReadRuntime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"heap_alloc_bytes", "heap_inuse_bytes", "total_alloc_bytes",
+		"mallocs", "num_gc", "gc_pause_total_ms", "goroutines",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("missing JSON key %q in %s", key, raw)
+		}
+	}
+}

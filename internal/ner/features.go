@@ -97,3 +97,123 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// emitFeatures is featurize fused with the emission lookup: instead of
+// materializing feature strings it assembles each feature's byte spelling
+// in buf and bumps the model's weights for it straight into row. The
+// templates, their spellings, and their emission order deliberately
+// duplicate featurize line for line — a shared abstraction would either
+// allocate (closures over append targets escape) or obscure the exact
+// float accumulation order that keeps TagScratch bit-identical to Tag.
+// TestEmitFeaturesParity pins the two against each other.
+func (m *Model) emitFeatures(tokens []string, i int, buf []byte, row *[NLabels]float64, sc *Scratch) []byte {
+	at := func(j int) string {
+		switch {
+		case j < 0:
+			return "<s>"
+		case j >= len(tokens):
+			return "</s>"
+		default:
+			return tokens[j]
+		}
+	}
+	w := tokens[i]
+
+	buf = append(buf[:0], "w0="...)
+	buf = append(buf, w...)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "w-1="...)
+	buf = append(buf, at(i-1)...)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "w+1="...)
+	buf = append(buf, at(i+1)...)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "w-2="...)
+	buf = append(buf, at(i-2)...)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "w+2="...)
+	buf = append(buf, at(i+2)...)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "w-1,0="...)
+	buf = append(buf, at(i-1)...)
+	buf = append(buf, '|')
+	buf = append(buf, w...)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "w0,+1="...)
+	buf = append(buf, w...)
+	buf = append(buf, '|')
+	buf = append(buf, at(i+1)...)
+	m.bump(buf, row)
+
+	if n := len(w); n > 2 {
+		buf = append(buf[:0], "suf2="...)
+		buf = append(buf, w[n-2:]...)
+		m.bump(buf, row)
+		if n > 3 {
+			buf = append(buf[:0], "suf3="...)
+			buf = append(buf, w[n-3:]...)
+			m.bump(buf, row)
+		}
+		buf = append(buf[:0], "pre2="...)
+		buf = append(buf, w[:2]...)
+		m.bump(buf, row)
+		if n > 3 {
+			buf = append(buf[:0], "pre3="...)
+			buf = append(buf, w[:3]...)
+			m.bump(buf, row)
+		}
+	}
+
+	buf = append(buf[:0], "shape="...)
+	buf = appendShape(buf, w)
+	m.bump(buf, row)
+
+	buf = append(buf[:0], "pos="...)
+	buf = append(buf, byte('0'+min(i, 6)))
+	m.bump(buf, row)
+
+	if i == 0 {
+		m.bump(append(buf[:0], "first"...), row)
+	}
+	if i == len(tokens)-1 {
+		m.bump(append(buf[:0], "last"...), row)
+	}
+
+	if isQuantityToken(w) {
+		m.bump(append(buf[:0], "lex:qty"...), row)
+	}
+	if sc.isUnit(w) {
+		m.bump(append(buf[:0], "lex:unit"...), row)
+	}
+	if sizeWords[w] {
+		m.bump(append(buf[:0], "lex:size"...), row)
+	}
+	if tempWords[w] {
+		m.bump(append(buf[:0], "lex:temp"...), row)
+	}
+	if dfWords[w] {
+		m.bump(append(buf[:0], "lex:df"...), row)
+	}
+	if stateWords[w] {
+		m.bump(append(buf[:0], "lex:state"...), row)
+	}
+	if fillerWords[w] {
+		m.bump(append(buf[:0], "lex:filler"...), row)
+	}
+	if isQuantityToken(at(i - 1)) {
+		m.bump(append(buf[:0], "prev:qty"...), row)
+	}
+	if sc.isUnit(at(i - 1)) {
+		m.bump(append(buf[:0], "prev:unit"...), row)
+	}
+	if at(i-1) == "," {
+		m.bump(append(buf[:0], "prev:comma"...), row)
+	}
+	return buf
+}

@@ -3,6 +3,7 @@ package ner
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"nutriprofile/internal/units"
 )
@@ -97,12 +98,14 @@ func isQuantityToken(tok string) bool {
 }
 
 // isUnitToken reports whether the token resolves to a known measurement
-// unit that is NOT a size word (sizes get their own tag).
+// unit that is NOT a size word (sizes get their own tag). NormalizeToken
+// skips Normalize's re-tokenization; the inputs here are always single
+// tokens (or the "<s>"/"</s>" sentinels, unknown either way).
 func isUnitToken(tok string) bool {
 	if sizeWords[tok] {
 		return false
 	}
-	name, known := units.Normalize(tok)
+	name, known := units.NormalizeToken(tok)
 	if !known {
 		return false
 	}
@@ -134,4 +137,28 @@ func wordShape(tok string) string {
 		}
 	}
 	return b.String()
+}
+
+// appendShape is wordShape appending its bytes to dst instead of
+// building a string — the zero-alloc form the compiled feature emitter
+// uses. Kept next to wordShape so the two rune classifications stay in
+// lockstep (pinned by TestAppendShapeParity).
+func appendShape(dst []byte, tok string) []byte {
+	var last rune
+	for _, r := range tok {
+		var c rune
+		switch {
+		case unicode.IsDigit(r):
+			c = '1'
+		case unicode.IsLetter(r):
+			c = 'a'
+		default:
+			c = r
+		}
+		if c != last {
+			dst = utf8.AppendRune(dst, c)
+			last = c
+		}
+	}
+	return dst
 }

@@ -3,6 +3,9 @@ package ner
 import (
 	"errors"
 	"math/rand"
+	"sync"
+
+	"nutriprofile/internal/textutil"
 )
 
 // Model is a linear-chain sequence tagger: per-feature emission weights
@@ -13,6 +16,15 @@ import (
 type Model struct {
 	emissions   map[string]*[NLabels]float64
 	transitions [NLabels + 1][NLabels]float64 // row NLabels is the start state
+
+	// Compiled read-only view of emissions, built lazily on the first
+	// TagScratch call (training always runs before serving, so the weights
+	// are final by then): feature strings become dense IDs so the hot path
+	// probes with scratch-assembled byte keys instead of building feature
+	// strings. Weight values are copied, not aliased — identical scores.
+	compileOnce sync.Once
+	featIDs     *textutil.Interner
+	featWeights [][NLabels]float64
 }
 
 // NewModel returns an empty (all-zero) model.
@@ -82,6 +94,82 @@ func (m *Model) Tag(tokens []string) []Label {
 func (m *Model) TagPhrase(phrase string) ([]string, []Label) {
 	toks := tokenize(phrase)
 	return toks, m.Tag(toks)
+}
+
+// compile builds the dense feature-ID view of the emission table. Map
+// iteration order is irrelevant: Intern assigns IDs in encounter order
+// and featWeights is appended in the same order, so ID i always indexes
+// feature i's weights.
+func (m *Model) compile() {
+	m.featIDs = textutil.NewInterner()
+	m.featWeights = make([][NLabels]float64, 0, len(m.emissions))
+	for f, wv := range m.emissions {
+		m.featIDs.Intern(f)
+		m.featWeights = append(m.featWeights, *wv)
+	}
+}
+
+// bump adds the emission weights of the feature spelled by key (if the
+// model knows it) into row. The byte-key probe does not allocate.
+func (m *Model) bump(key []byte, row *[NLabels]float64) {
+	if id, ok := m.featIDs.LookupBytes(key); ok {
+		wv := &m.featWeights[id]
+		for l := 0; l < int(NLabels); l++ {
+			row[l] += wv[l]
+		}
+	}
+}
+
+// TagScratch is Tag decoding into sc. Scores are computed feature-by-
+// feature in exactly Tag's accumulation order, so the floating-point
+// results — and therefore the decoded labels — are bit-identical. The
+// returned slice aliases sc.
+func (m *Model) TagScratch(tokens []string, sc *Scratch) []Label {
+	if len(tokens) == 0 {
+		return nil
+	}
+	m.compileOnce.Do(m.compile)
+	n := len(tokens)
+	emit := sc.emitRows(n)
+	buf := sc.buf
+	for i := range tokens {
+		buf = m.emitFeatures(tokens, i, buf, &emit[i], sc)
+	}
+	sc.buf = buf
+
+	// Viterbi over fixed-size score arrays; prev/cur swap by array copy.
+	var prev, cur [NLabels]float64
+	back := sc.backRows(n)
+	for l := Label(0); l < NLabels; l++ {
+		prev[l] = m.transitions[NLabels][l] + emit[0][l]
+	}
+	for i := 1; i < n; i++ {
+		row := back[i*int(NLabels) : (i+1)*int(NLabels)]
+		for l := Label(0); l < NLabels; l++ {
+			best, bestFrom := prev[0]+m.transitions[0][l], Label(0)
+			for from := Label(1); from < NLabels; from++ {
+				if s := prev[from] + m.transitions[from][l]; s > best {
+					best, bestFrom = s, from
+				}
+			}
+			cur[l] = best + emit[i][l]
+			row[l] = bestFrom
+		}
+		prev = cur
+	}
+
+	bestLabel, bestScore := Label(0), prev[0]
+	for l := Label(1); l < NLabels; l++ {
+		if prev[l] > bestScore {
+			bestLabel, bestScore = l, prev[l]
+		}
+	}
+	labels := sc.labelSlice(n)
+	labels[n-1] = bestLabel
+	for i := n - 1; i > 0; i-- {
+		labels[i-1] = back[i*int(NLabels)+int(labels[i])]
+	}
+	return labels
 }
 
 // TrainConfig controls perceptron training.

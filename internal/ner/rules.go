@@ -14,60 +14,73 @@ type RuleTagger struct{}
 // Tag labels a tokenized phrase. It never fails; unknown tokens default
 // to NAME, which is the majority class in ingredient phrases.
 func (RuleTagger) Tag(tokens []string) []Label {
-	labels := make([]Label, len(tokens))
+	return appendRuleTags(make([]Label, 0, len(tokens)), tokens, nil)
+}
+
+// TagScratch is Tag decoding into sc, with isUnitToken memoized per
+// scratch. The returned slice aliases sc.
+func (RuleTagger) TagScratch(tokens []string, sc *Scratch) []Label {
+	sc.labels = appendRuleTags(sc.labels[:0], tokens, sc)
+	return sc.labels
+}
+
+// appendRuleTags is the positional grammar, appending one label per
+// token to dst. sc (nilable) only memoizes the unit predicate — the
+// labels emitted are independent of it.
+func appendRuleTags(dst []Label, tokens []string, sc *Scratch) []Label {
 	seenName := false
 	afterComma := false
 	skipAlternative := false
-	for i, tok := range tokens {
+	for _, tok := range tokens {
 		// "3/4 cup butter or 3/4 cup margarine": once the NAME has been
 		// seen, an "or" introduces an alternative ingredient, which the
 		// paper's Table I drops entirely.
 		if skipAlternative && tok != "," {
-			labels[i] = Out
+			dst = append(dst, Out)
 			continue
 		}
 		if tok == "or" && seenName {
-			labels[i] = Out
+			dst = append(dst, Out)
 			skipAlternative = true
 			continue
 		}
 		switch {
 		case tok == "," || tok == "(" || tok == ")":
-			labels[i] = Out
+			dst = append(dst, Out)
 			if tok == "," {
 				afterComma = true
 				skipAlternative = false
 			}
 		case isQuantityToken(tok):
-			labels[i] = Quantity
+			dst = append(dst, Quantity)
 		case sizeWords[tok]:
-			labels[i] = Size
+			dst = append(dst, Size)
 		case tempWords[tok]:
-			labels[i] = Temp
+			dst = append(dst, Temp)
 		case dfWords[tok]:
-			labels[i] = DF
+			dst = append(dst, DF)
 		case stateWords[tok]:
-			labels[i] = State
+			dst = append(dst, State)
 		case fillerWords[tok]:
-			labels[i] = Out
-		case isUnitToken(tok) && !seenName:
+			dst = append(dst, Out)
+		case sc.isUnit(tok) && !seenName:
 			// Unit words before the name are true units ("2 cups flour");
 			// after the name they are usually part of it or noise
 			// ("chicken breast" — breast is a count unit but here NAME).
-			labels[i] = Unit
+			dst = append(dst, Unit)
 		default:
 			// Content word. After a comma boundary, trailing content
 			// words are nearly always processing states in this corpus
 			// ("onion , finely chopped"), but only when a name exists.
 			if afterComma && seenName {
-				labels[i] = State
+				dst = append(dst, State)
 			} else {
-				labels[i] = Name
+				dst = append(dst, Name)
 				seenName = true
 			}
 		}
 	}
-	return labels
+	return dst
 }
 
 // TagPhrase tokenizes and tags a raw phrase in one call.

@@ -1,0 +1,286 @@
+package ner
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nutriprofile/internal/textutil"
+)
+
+// scratchTestPhrases exercises every feature template and rule branch:
+// quantities in all spellings, units before/after the name, sizes,
+// temps, dry/fresh, states, fillers, commas, parentheses, alternative
+// ingredients, unicode fraction glyphs, and degenerate inputs.
+var scratchTestPhrases = []string{
+	"2 cups all-purpose flour",
+	"1 small onion , finely chopped",
+	"1/2 lb lean ground beef",
+	"1 teaspoon butter",
+	"3/4 cup butter or 3/4 cup margarine , softened",
+	"2 eggs , beaten",
+	"1 tablespoon cold water",
+	"2 cloves garlic , minced",
+	"1 cup dried cranberries",
+	"salt and pepper to taste",
+	"1 (8 ounce) package cream cheese , softened",
+	"2-4 large carrots , peeled and sliced",
+	"½ cup sugar",
+	"1¼ cups milk",
+	"1.5 kg chicken breast , skinless",
+	"pinch of salt",
+	"fresh parsley for garnish",
+	"3 medium tomatoes",
+	"1 pound fresh mushrooms , sliced",
+	"Boiling Water",
+	"2 Tbsp. olive oil",
+	"a",
+	",",
+	"",
+	"1",
+	"cup",
+	"x",
+}
+
+// TestAppendShapeParity pins appendShape to wordShape over the corpus
+// tokens plus multi-byte and punctuation-heavy shapes.
+func TestAppendShapeParity(t *testing.T) {
+	toks := []string{"", "Flour", "2-4", "hard-cooked", "½", "1¼", "a1a1", "..", "éclair", "ÅB", "日本", "x,y"}
+	for _, p := range scratchTestPhrases {
+		toks = append(toks, tokenize(p)...)
+	}
+	var buf []byte
+	for _, tok := range toks {
+		buf = appendShape(buf[:0], tok)
+		if got, want := string(buf), wordShape(tok); got != want {
+			t.Errorf("appendShape(%q) = %q, want %q", tok, got, want)
+		}
+	}
+}
+
+// probeModel builds a model whose emission table holds every feature the
+// test phrases produce, with distinct deterministic weights per feature —
+// so any divergence between featurize and emitFeatures shifts a score.
+func probeModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	n := 0
+	for _, p := range scratchTestPhrases {
+		toks := tokenize(p)
+		for i := range toks {
+			for _, f := range featurize(toks, i) {
+				if _, ok := m.emissions[f]; ok {
+					continue
+				}
+				wv := new([NLabels]float64)
+				for l := 0; l < int(NLabels); l++ {
+					wv[l] = float64((n*7+l*13)%101) - 50
+				}
+				m.emissions[f] = wv
+				n++
+			}
+		}
+	}
+	// Distinct transitions so Viterbi paths are sensitive to them too.
+	for from := 0; from <= int(NLabels); from++ {
+		for to := 0; to < int(NLabels); to++ {
+			m.transitions[from][to] = float64((from*17+to*5)%23) - 11
+		}
+	}
+	if n == 0 {
+		t.Fatal("probe model has no features")
+	}
+	return m
+}
+
+// TestEmitFeaturesParity compares the per-position emission row built by
+// the string-based featurize path against emitFeatures' fused byte-key
+// path. Scores must be bit-identical (same features, same accumulation
+// order).
+func TestEmitFeaturesParity(t *testing.T) {
+	m := probeModel(t)
+	m.compileOnce.Do(m.compile)
+	sc := &Scratch{}
+	for _, p := range scratchTestPhrases {
+		toks := tokenize(p)
+		var buf []byte
+		for i := range toks {
+			var want [NLabels]float64
+			for _, f := range featurize(toks, i) {
+				if wv, ok := m.emissions[f]; ok {
+					for l := 0; l < int(NLabels); l++ {
+						want[l] += wv[l]
+					}
+				}
+			}
+			var got [NLabels]float64
+			buf = m.emitFeatures(toks, i, buf, &got, sc)
+			if got != want {
+				t.Errorf("phrase %q pos %d: emitFeatures row %v, want %v", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestModelTagScratchMatchesTag pins the scratch decoder to the
+// allocating one on a model with dense, adversarially distinct weights.
+func TestModelTagScratchMatchesTag(t *testing.T) {
+	m := probeModel(t)
+	sc := &Scratch{}
+	for _, p := range scratchTestPhrases {
+		toks := tokenize(p)
+		want := m.Tag(toks)
+		got := m.TagScratch(toks, sc)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("phrase %q: TagScratch %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestTrainedModelTagScratchMatchesTag repeats the differential with a
+// model trained on silver labels — realistic (sparse, averaged) weights.
+func TestTrainedModelTagScratchMatchesTag(t *testing.T) {
+	var rt RuleTagger
+	var examples []Example
+	for _, p := range scratchTestPhrases {
+		toks := tokenize(p)
+		if len(toks) == 0 {
+			continue
+		}
+		examples = append(examples, Example{Tokens: toks, Labels: rt.Tag(toks)})
+	}
+	m, err := Train(examples, TrainConfig{Epochs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scratch{}
+	for _, p := range scratchTestPhrases {
+		toks := tokenize(p)
+		want := m.Tag(toks)
+		got := m.TagScratch(toks, sc)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("phrase %q: TagScratch %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestRuleTaggerTagScratchMatchesTag pins the appending rule path (with
+// the memoized unit predicate) to the plain one.
+func TestRuleTaggerTagScratchMatchesTag(t *testing.T) {
+	var rt RuleTagger
+	sc := &Scratch{}
+	for _, p := range scratchTestPhrases {
+		toks := tokenize(p)
+		want := rt.Tag(toks)
+		got := rt.TagScratch(toks, sc)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("phrase %q: TagScratch %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestExtractScratchMatchesExtract pins scratch assembly (byte-scratch
+// joins, interning, first-word indices) to Extract/Assemble, for both
+// the rule tagger and the probe model.
+func TestExtractScratchMatchesExtract(t *testing.T) {
+	taggers := []struct {
+		name string
+		t    Tagger
+	}{
+		{"rule", RuleTagger{}},
+		{"model", probeModel(t)},
+	}
+	for _, tc := range taggers {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &Scratch{}
+			for _, p := range scratchTestPhrases {
+				want := Extract(tc.t, p)
+				toks := tokenize(p)
+				got := ExtractScratch(tc.t, toks, sc)
+				if got != want {
+					t.Errorf("phrase %q: ExtractScratch %+v, want %+v", p, got, want)
+				}
+				// FirstWordIndex must agree with textutil.FirstWord over
+				// the joined field — the equivalence unit resolution
+				// relies on.
+				fields := [NLabels]string{
+					"", got.Name, got.State, got.Unit, got.Quantity,
+					got.Temp, got.DryFresh, got.Size,
+				}
+				for l := Name; l < NLabels; l++ {
+					idx := sc.FirstWordIndex(l)
+					first := textutil.FirstWord(fields[l])
+					if first == "" {
+						if idx != -1 {
+							t.Errorf("phrase %q label %v: FirstWordIndex %d, want -1 (field %q)", p, l, idx, fields[l])
+						}
+						continue
+					}
+					if idx < 0 || idx >= len(toks) || toks[idx] != first {
+						t.Errorf("phrase %q label %v: FirstWordIndex %d (token %q), want token %q",
+							p, l, idx, tokenAt(toks, idx), first)
+					}
+				}
+			}
+		})
+	}
+}
+
+func tokenAt(toks []string, i int) string {
+	if i < 0 || i >= len(toks) {
+		return fmt.Sprintf("<out of range %d>", i)
+	}
+	return toks[i]
+}
+
+// TestExtractScratchFieldsStable: Extraction fields must survive the
+// scratch being reused for later phrases (they are interned copies, not
+// aliases into the byte scratch).
+func TestExtractScratchFieldsStable(t *testing.T) {
+	var rt RuleTagger
+	sc := &Scratch{}
+	first := ExtractScratch(rt, tokenize("2 cups all-purpose flour"), sc)
+	want := first
+	for _, p := range scratchTestPhrases {
+		ExtractScratch(rt, tokenize(p), sc)
+	}
+	if first != want {
+		t.Fatalf("extraction mutated by later scratch reuse: %+v, want %+v", first, want)
+	}
+	if first.Name != "all-purpose flour" {
+		t.Fatalf("Name = %q, want %q", first.Name, "all-purpose flour")
+	}
+}
+
+// TestScratchIsUnitMemo: the memoized predicate must agree with
+// isUnitToken across repeated and overflowing use.
+func TestScratchIsUnitMemo(t *testing.T) {
+	sc := &Scratch{}
+	toks := []string{"cup", "cups", "flour", "<s>", "</s>", "small", "lb", "g", ""}
+	for round := 0; round < 3; round++ {
+		for _, tok := range toks {
+			if got, want := sc.isUnit(tok), isUnitToken(tok); got != want {
+				t.Fatalf("round %d: isUnit(%q) = %v, want %v", round, tok, got, want)
+			}
+		}
+	}
+	// Overflow the bound; correctness must survive the wholesale clear.
+	for i := 0; i < maxScratchEntries+10; i++ {
+		sc.isUnit(strings.Repeat("x", 1+i%7) + fmt.Sprint(i))
+	}
+	for _, tok := range toks {
+		if got, want := sc.isUnit(tok), isUnitToken(tok); got != want {
+			t.Fatalf("post-overflow: isUnit(%q) = %v, want %v", tok, got, want)
+		}
+	}
+}

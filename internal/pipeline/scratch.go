@@ -1,0 +1,188 @@
+// Package pipeline provides the per-goroutine scratch arena the NLP
+// front-end (tokenize → POS-tag → lemmatize → NER → unit lookup) runs
+// in. One Scratch holds every buffer and memo the per-phrase hot path
+// needs, so a warm Scratch processes a phrase with zero heap
+// allocations; core.Estimator checks one out per batch worker and reuses
+// it across the worker's whole shard.
+//
+// Ownership model (DESIGN.md §10): a Scratch belongs to exactly one
+// goroutine between Get and Put. Results that outlive the phrase
+// (Extraction fields, cache keys) are copied out of the arena before the
+// next phrase reuses it; everything else (token slices, tag/lemma
+// buffers, Viterbi arrays, key buffers) aliases the arena and is valid
+// only until the next Tokenize call.
+package pipeline
+
+import (
+	"strings"
+	"sync"
+
+	"nutriprofile/internal/lemma"
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/postag"
+	"nutriprofile/internal/textutil"
+	"nutriprofile/internal/units"
+)
+
+// unitHit memoizes one token's unit resolution.
+type unitHit struct {
+	name  string
+	known bool
+}
+
+// maxScratchEntries bounds the per-scratch memo maps. Recipe vocabulary
+// is a few thousand distinct tokens, so clearing only triggers on
+// adversarial input; the maps are cleared wholesale rather than evicted
+// entry-wise to keep the hot path branch-free.
+const maxScratchEntries = 4096
+
+// Scratch is the arena. The zero value is ready to use; buffers grow to
+// the corpus' longest phrase and then stop allocating. Not safe for
+// concurrent use.
+type Scratch struct {
+	// NER is the tagging/assembly sub-arena, passed to ner.ExtractScratch.
+	NER ner.Scratch
+
+	tokens     []string
+	tags       []postag.Tag
+	lemmas     []string
+	haveLemmas bool
+
+	folder     textutil.Folder   // memoized case folding for cased tokens
+	lemmaCache map[string]string // token → noun lemma (stable strings)
+	unitCache  map[string]unitHit
+
+	keyBuf  []byte // phrase-cache key scratch
+	qkeyBuf []byte // match-cache key scratch (distinct: both live at once)
+}
+
+// Tokenize resets the scratch to a new phrase and returns its tokens.
+// Token values equal textutil.Tokenize's; the slice aliases the arena.
+func (sc *Scratch) Tokenize(phrase string) []string {
+	sc.tokens = textutil.AppendTokensFolded(sc.tokens[:0], phrase, &sc.folder)
+	sc.haveLemmas = false
+	return sc.tokens
+}
+
+// Tokens returns the current phrase's tokens.
+func (sc *Scratch) Tokens() []string { return sc.tokens }
+
+// Tag POS-tags the current phrase. Values equal postag.TagPhrase's.
+func (sc *Scratch) Tag() []postag.Tag {
+	sc.tags = postag.TagInto(sc.tags[:0], sc.tokens)
+	return sc.tags
+}
+
+// Lemmas returns the noun lemma of every token of the current phrase,
+// equal to lemma.Phrase's output, computed lazily once per phrase and
+// memoized per distinct token spelling across phrases.
+func (sc *Scratch) Lemmas() []string {
+	if sc.haveLemmas {
+		return sc.lemmas
+	}
+	sc.lemmas = sc.lemmas[:0]
+	for _, t := range sc.tokens {
+		sc.lemmas = append(sc.lemmas, sc.lemmaOf(t))
+	}
+	sc.haveLemmas = true
+	return sc.lemmas
+}
+
+// lemmaOf is a memoized lemma.Word. Cached values never alias the phrase:
+// keys are cloned, and a token that is its own lemma maps to the clone.
+func (sc *Scratch) lemmaOf(tok string) string {
+	if l, ok := sc.lemmaCache[tok]; ok {
+		return l
+	}
+	l := lemma.Word(tok)
+	if sc.lemmaCache == nil {
+		sc.lemmaCache = make(map[string]string)
+	} else if len(sc.lemmaCache) >= maxScratchEntries {
+		clear(sc.lemmaCache)
+	}
+	key := strings.Clone(tok)
+	if l == tok {
+		l = key
+	}
+	sc.lemmaCache[key] = l
+	return l
+}
+
+// UnitFor resolves token i of the current phrase as a unit, equal to
+// units.Normalize(token). The already-computed phrase lemma is plumbed
+// through (units.NormalizeTokenLemma) instead of re-lemmatizing, and the
+// outcome is memoized per token spelling.
+func (sc *Scratch) UnitFor(i int) (string, bool) {
+	tok := sc.tokens[i]
+	if hit, ok := sc.unitCache[tok]; ok {
+		return hit.name, hit.known
+	}
+	name, known := units.NormalizeTokenLemma(tok, sc.Lemmas()[i])
+	if sc.unitCache == nil {
+		sc.unitCache = make(map[string]unitHit)
+	} else if len(sc.unitCache) >= maxScratchEntries {
+		clear(sc.unitCache)
+	}
+	sc.unitCache[strings.Clone(tok)] = unitHit{name: name, known: known}
+	return name, known
+}
+
+// Extract tags the current phrase with t and assembles the Extraction
+// through the NER sub-arena. Field values are byte-identical to
+// ner.Extract over the raw phrase.
+func (sc *Scratch) Extract(t ner.Tagger) ner.Extraction {
+	return ner.ExtractScratch(t, sc.tokens, &sc.NER)
+}
+
+// Run processes one phrase through the whole front-end: tokenize, tag,
+// lemmatize, extract. It exists for tests and benchmarks that exercise
+// the path end to end; core threads the stages individually.
+func (sc *Scratch) Run(t ner.Tagger, phrase string) ner.Extraction {
+	sc.Tokenize(phrase)
+	sc.Tag()
+	sc.Lemmas()
+	return sc.Extract(t)
+}
+
+// PhraseKey renders the current token stream as the phrase-cache key,
+// byte-equal to strings.Join(tokens, " "). The slice aliases the arena
+// and stays valid across JoinKey calls (separate buffers), but not
+// across Tokenize.
+func (sc *Scratch) PhraseKey() []byte {
+	b := sc.keyBuf[:0]
+	for i, t := range sc.tokens {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, t...)
+	}
+	sc.keyBuf = b
+	return b
+}
+
+// JoinKey renders fields separated by 0x1f, byte-equal to joining them
+// with "\x1f" — the match-cache key shape.
+func (sc *Scratch) JoinKey(fields ...string) []byte {
+	b := sc.qkeyBuf[:0]
+	for i, f := range fields {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, f...)
+	}
+	sc.qkeyBuf = b
+	return b
+}
+
+// pool recycles scratches across batches. Scratches are never reset on
+// Put: the memo maps are the warm state the next batch wants, and every
+// per-phrase buffer is re-initialized by Tokenize. No finalizers — an
+// abandoned Scratch is plain garbage (DESIGN.md §10).
+var pool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// Get checks a Scratch out of the pool.
+func Get() *Scratch { return pool.Get().(*Scratch) }
+
+// Put returns a Scratch to the pool. The caller must not retain any
+// alias into it afterwards.
+func Put(sc *Scratch) { pool.Put(sc) }

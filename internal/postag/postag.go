@@ -92,6 +92,43 @@ var participles = map[string]bool{
 	"broken": true, "drawn": true, "melted": true,
 }
 
+// lexicon merges the closed-class word lists into one map so Tagging does
+// a single probe instead of five. Insertion order mirrors the precedence
+// of the original case chain (determiner > preposition > conjunction >
+// adjective > participle): first writer wins, so a word listed in two
+// classes ("frozen" is both adjective and participle) keeps the tag the
+// chain would have produced.
+var lexicon = make(map[string]Tag, 160)
+
+func addLexicon(words map[string]bool, t Tag) {
+	for w := range words {
+		if _, ok := lexicon[w]; !ok {
+			lexicon[w] = t
+		}
+	}
+}
+
+func init() {
+	addLexicon(determiners, Det)
+	addLexicon(prepositions, Prep)
+	addLexicon(conjunctions, Conj)
+	addLexicon(adjectives, Adj)
+	addLexicon(participles, Verb)
+}
+
+// suffixRules is the morphological fallback for open-class words, applied
+// in order after the lexicon misses. minLen is the strict lower bound on
+// token length the original inline checks used (len(tok) > n).
+var suffixRules = [...]struct {
+	suffix string
+	minLen int
+	tag    Tag
+}{
+	{"ly", 3, Adv},
+	{"ed", 4, Verb},
+	{"ing", 4, Verb},
+}
+
 // Tagging returns the coarse POS tag for one (lower-cased) token.
 func Tagging(tok string) Tag {
 	switch {
@@ -101,34 +138,33 @@ func Tagging(tok string) Tag {
 		return Punct
 	case isNumeric(tok):
 		return Num
-	case determiners[tok]:
-		return Det
-	case prepositions[tok]:
-		return Prep
-	case conjunctions[tok]:
-		return Conj
-	case adjectives[tok]:
-		return Adj
-	case participles[tok]:
-		return Verb
-	case strings.HasSuffix(tok, "ly") && len(tok) > 3:
-		return Adv
-	case (strings.HasSuffix(tok, "ed") || strings.HasSuffix(tok, "ing")) && len(tok) > 4:
-		return Verb
-	case !startsWithLetter(tok):
-		return Other
-	default:
-		return Noun
 	}
+	if t, ok := lexicon[tok]; ok {
+		return t
+	}
+	for _, r := range suffixRules {
+		if len(tok) > r.minLen && strings.HasSuffix(tok, r.suffix) {
+			return r.tag
+		}
+	}
+	if !startsWithLetter(tok) {
+		return Other
+	}
+	return Noun
 }
 
 // TagPhrase tags every token of a pre-tokenized phrase.
 func TagPhrase(tokens []string) []Tag {
-	out := make([]Tag, len(tokens))
-	for i, t := range tokens {
-		out[i] = Tagging(t)
+	return TagInto(make([]Tag, 0, len(tokens)), tokens)
+}
+
+// TagInto is TagPhrase appending into dst, so hot paths can reuse one
+// tag buffer across phrases instead of allocating per call.
+func TagInto(dst []Tag, tokens []string) []Tag {
+	for _, t := range tokens {
+		dst = append(dst, Tagging(t))
 	}
-	return out
+	return dst
 }
 
 // FrequencyVector returns the per-tag frequency vector of a tagged phrase,

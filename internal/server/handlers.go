@@ -219,8 +219,9 @@ type StatsResponse struct {
 		Phrase memo.Stats `json:"phrase"`
 		Match  memo.Stats `json:"match"`
 	} `json:"memo"`
-	Matcher match.MatcherStats `json:"matcher"`
-	HTTP    metrics.Snapshot   `json:"http"`
+	Matcher match.MatcherStats   `json:"matcher"`
+	HTTP    metrics.Snapshot     `json:"http"`
+	Runtime metrics.RuntimeStats `json:"runtime"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -228,5 +229,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Memo.Phrase, out.Memo.Match = s.est.CacheStats()
 	out.Matcher = s.est.MatcherStats()
 	out.HTTP = s.reg.Snapshot()
+	out.Runtime = metrics.ReadRuntime()
 	writeJSON(w, out)
 }

@@ -296,6 +296,9 @@ func TestHealthzAndStatsShape(t *testing.T) {
 	if est.Latency.Count != 3 {
 		t.Fatalf("latency count %d, want 3", est.Latency.Count)
 	}
+	if st.Runtime.HeapAllocBytes == 0 || st.Runtime.TotalAllocBytes == 0 || st.Runtime.Goroutines <= 0 {
+		t.Fatalf("runtime gauges empty: %+v", st.Runtime)
+	}
 }
 
 // TestRequestTimeout deadlines a many-ingredient recipe with a

@@ -39,6 +39,14 @@ func (in *Interner) Lookup(term string) (uint32, bool) {
 	return id, ok
 }
 
+// LookupBytes is Lookup keyed by raw bytes. The string conversion in the
+// map index expression is recognized by the compiler and does not
+// allocate, so hot paths can probe with scratch-assembled keys for free.
+func (in *Interner) LookupBytes(key []byte) (uint32, bool) {
+	id, ok := in.ids[string(key)]
+	return id, ok
+}
+
 // Term returns the string for a previously assigned ID.
 func (in *Interner) Term(id uint32) string { return in.terms[id] }
 

@@ -73,23 +73,76 @@ func containsFractionGlyph(s string) bool {
 // words such as "hard-cooked" and "all-purpose" are kept together, matching
 // how the paper's Table I treats them as single STATE/NAME words.
 func Tokenize(s string) []string {
-	return appendTokens(nil, s, false)
+	return appendTokens(nil, s, false, nil)
 }
 
 // AppendTokens is Tokenize appending into dst, so callers on hot paths
 // can reuse one scratch slice across phrases instead of allocating a
 // fresh token slice per call.
 func AppendTokens(dst []string, s string) []string {
-	return appendTokens(dst, s, false)
+	return appendTokens(dst, s, false, nil)
+}
+
+// AppendTokensFolded is AppendTokens with a Folder caching the case
+// foldings, so phrases containing upper-case tokens stop allocating once
+// the Folder has seen each distinct spelling. Token values are identical
+// to Tokenize's.
+func AppendTokensFolded(dst []string, s string, f *Folder) []string {
+	return appendTokens(dst, s, false, f)
+}
+
+// maxFolderEntries bounds a Folder's memory; real token vocabularies are
+// far smaller, so the reset path only guards against adversarial input.
+const maxFolderEntries = 4096
+
+// Folder memoizes strings.ToLower for cased tokens. Tokens that are
+// already lower-case never touch the cache (they are returned as
+// zero-copy substrings before the Folder is consulted), so the map only
+// holds the rare cased spellings. A nil *Folder is valid and simply
+// falls back to strings.ToLower. Not safe for concurrent use — a Folder
+// belongs to one goroutine's scratch state.
+type Folder struct {
+	m map[string]string
+}
+
+// Lower returns strings.ToLower(s), serving repeated cased spellings
+// from the cache without allocating.
+func (f *Folder) Lower(s string) string {
+	// Fast path: nothing to fold. Any non-ASCII rune falls through to
+	// ToLower, which still returns s unchanged (no alloc) when the rune
+	// has no lower-case form.
+	i := 0
+	for i < len(s) && s[i] < utf8.RuneSelf && (s[i] < 'A' || s[i] > 'Z') {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	if f == nil {
+		return strings.ToLower(s)
+	}
+	if lowered, ok := f.m[s]; ok {
+		return lowered
+	}
+	lowered := strings.ToLower(s)
+	if f.m == nil {
+		f.m = make(map[string]string)
+	} else if len(f.m) >= maxFolderEntries {
+		clear(f.m)
+	}
+	// Clone the key: s is a substring of the caller's phrase and caching
+	// it verbatim would pin the whole phrase in memory.
+	f.m[strings.Clone(s)] = lowered
+	return lowered
 }
 
 // appendTokens walks the string directly with utf8.DecodeRuneInString and
 // slices the original string for each token — no []rune conversion, no
 // rune re-encoding. Already-lowercase tokens (the typical case for both
 // recipe phrases and normalized queries) are emitted as zero-copy
-// substrings because strings.ToLower returns its input unchanged when
-// there is nothing to fold.
-func appendTokens(dst []string, s string, wordsOnly bool) []string {
+// substrings because case folding returns its input unchanged when there
+// is nothing to fold; cased tokens fold through f (nil: plain ToLower).
+func appendTokens(dst []string, s string, wordsOnly bool, f *Folder) []string {
 	s = ExpandFractions(s)
 	for i := 0; i < len(s); {
 		r, size := utf8.DecodeRuneInString(s[i:])
@@ -113,7 +166,7 @@ func appendTokens(dst []string, s string, wordsOnly bool) []string {
 				break
 			}
 			if !wordsOnly {
-				dst = append(dst, strings.ToLower(s[i:j]))
+				dst = append(dst, f.Lower(s[i:j]))
 			}
 			i = j
 		case unicode.IsLetter(r):
@@ -132,7 +185,7 @@ func appendTokens(dst []string, s string, wordsOnly bool) []string {
 				}
 				break
 			}
-			dst = append(dst, strings.ToLower(s[i:j]))
+			dst = append(dst, f.Lower(s[i:j]))
 			i = j
 		case r == '%':
 			if !wordsOnly {
@@ -156,15 +209,18 @@ func appendTokens(dst []string, s string, wordsOnly bool) []string {
 // dropping numbers and punctuation. This is the preprocessing base for
 // Jaccard word sets (§II-B(e)).
 func Words(s string) []string {
-	return appendTokens(nil, s, true)
+	return appendTokens(nil, s, true, nil)
 }
 
 // AppendWords is Words appending into dst (see AppendTokens).
 func AppendWords(dst []string, s string) []string {
-	return appendTokens(dst, s, true)
+	return appendTokens(dst, s, true, nil)
 }
 
-func isWordToken(t string) bool {
+// IsWordToken reports whether t is an alphabetic token as Tokenize emits
+// them: letters plus interior hyphens/apostrophes. Numeric and
+// punctuation tokens are not word tokens.
+func IsWordToken(t string) bool {
 	if t == "" {
 		return false
 	}
@@ -262,7 +318,7 @@ func EqualFold(a, b string) bool { return strings.EqualFold(a, b) }
 // Used by unit cleaning (§II-C): `pat (1" sq, 1/3" high)` → "pat".
 func FirstWord(s string) string {
 	for _, t := range Tokenize(s) {
-		if isWordToken(t) {
+		if IsWordToken(t) {
 			return t
 		}
 	}
@@ -271,8 +327,17 @@ func FirstWord(s string) string {
 
 // StripNonAlpha removes every non-letter rune and lower-cases the result,
 // the "regex to obtain a cleaner version containing only alphabets" step of
-// §II-C.
+// §II-C. Strings that are already clean (lower-case ASCII letters only,
+// the common case for tokenized unit words) are returned unchanged
+// without allocating.
 func StripNonAlpha(s string) string {
+	i := 0
+	for i < len(s) && 'a' <= s[i] && s[i] <= 'z' {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
 	var b strings.Builder
 	b.Grow(len(s))
 	for _, r := range s {

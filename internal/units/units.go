@@ -18,6 +18,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"nutriprofile/internal/lemma"
 	"nutriprofile/internal/textutil"
@@ -250,7 +252,13 @@ func Clean(raw string) string {
 // Normalize resolves a raw unit string to its canonical unit name.
 // The second return reports whether the unit is known.
 func Normalize(raw string) (string, bool) {
-	c := Clean(raw)
+	return lookupUnit(Clean(raw))
+}
+
+// lookupUnit resolves a cleaned spelling through the canonical and alias
+// tables. Unknown non-empty spellings are returned as-is with ok=false,
+// mirroring Normalize's historical contract.
+func lookupUnit(c string) (string, bool) {
 	if c == "" {
 		return "", false
 	}
@@ -261,6 +269,39 @@ func Normalize(raw string) (string, bool) {
 		return target, true
 	}
 	return c, false
+}
+
+// CleanToken is Clean for a single token as Tokenize emits them. Tokens
+// re-tokenize to themselves, so FirstWord(tok) is tok itself when it is a
+// word token and "" otherwise — this skips the re-tokenization Clean pays
+// on arbitrary strings.
+func CleanToken(tok string) string {
+	if !textutil.IsWordToken(tok) {
+		return ""
+	}
+	return textutil.StripNonAlpha(lemma.Word(tok))
+}
+
+// CleanTokenLemma is CleanToken when the caller has already lemmatized
+// the token (the phrase lemma pass produces every token's noun lemma):
+// the cached lemma is plumbed through instead of recomputing it.
+func CleanTokenLemma(tok, lem string) string {
+	if !textutil.IsWordToken(tok) {
+		return ""
+	}
+	return textutil.StripNonAlpha(lem)
+}
+
+// NormalizeToken is Normalize for a single Tokenize-emitted token.
+func NormalizeToken(tok string) (string, bool) {
+	return lookupUnit(CleanToken(tok))
+}
+
+// NormalizeTokenLemma is NormalizeToken with the token's noun lemma
+// supplied by the caller, avoiding a redundant lemmatization when the
+// phrase pipeline has already produced it.
+func NormalizeTokenLemma(tok, lem string) (string, bool) {
+	return lookupUnit(CleanTokenLemma(tok, lem))
 }
 
 // MustKind returns the Kind of a canonical unit name; it panics on unknown
@@ -395,7 +436,13 @@ func ParseQuantity(raw string) (float64, error) {
 	if raw == "" {
 		return 0, errors.New("units: empty quantity")
 	}
-	fields := strings.Fields(strings.ToLower(raw))
+	// Split into lower-cased fields without the strings.Fields +
+	// strings.ToLower allocations: quantities are short, so the fields
+	// live in a stack array (append spills transparently past 8). Folding
+	// per field is identical to folding the whole string because case
+	// mapping never creates or destroys whitespace.
+	var arr [8]string
+	fields := appendFieldsLower(arr[:0], raw)
 
 	// Word numbers: "a", "one", "half", "one dozen".
 	if v, ok := wordNumbers[fields[0]]; ok {
@@ -411,7 +458,8 @@ func ParseQuantity(raw string) (float64, error) {
 
 	// "N to M" spelled ranges become "N-M".
 	if len(fields) == 3 && (fields[1] == "to" || fields[1] == "-" || fields[1] == "or") {
-		fields = []string{fields[0] + "-" + fields[2]}
+		fields[0] = fields[0] + "-" + fields[2]
+		fields = fields[:1]
 	}
 
 	// Mixed number: "2 1/2".
@@ -467,6 +515,43 @@ func ParseServings(s string) (n int, clean, ok bool) {
 	}
 	clean = len(values) == 1 && !ranged && v == math.Trunc(v)
 	return n, clean, true
+}
+
+// appendFieldsLower appends the whitespace-separated fields of s to dst,
+// each lower-cased. Equivalent to strings.Fields(strings.ToLower(s)) but
+// allocation-free when every field is already lower-case and dst has
+// capacity.
+func appendFieldsLower(dst []string, s string) []string {
+	i := 0
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			i += size
+			continue
+		}
+		j := i + size
+		for j < len(s) {
+			r2, sz := utf8.DecodeRuneInString(s[j:])
+			if unicode.IsSpace(r2) {
+				break
+			}
+			j += sz
+		}
+		dst = append(dst, lowerField(s[i:j]))
+		i = j
+	}
+	return dst
+}
+
+// lowerField lower-cases one field, returning it unchanged (no alloc)
+// when it contains no ASCII upper-case byte and no multi-byte rune.
+func lowerField(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf || ('A' <= s[i] && s[i] <= 'Z') {
+			return strings.ToLower(s)
+		}
+	}
+	return s
 }
 
 // parseSimple handles one token: number, decimal, fraction or range.

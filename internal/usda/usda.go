@@ -60,6 +60,30 @@ type Food struct {
 	Per100g nutrition.Profile
 	// Weights lists the available unit→gram conversions for this food.
 	Weights []Weight
+	// unitCache mirrors Weights index-for-index with each row's canonical
+	// unit resolution. NewDB fills it once, so per-lookup callers never
+	// re-clean the raw SR spellings (`pat (1" sq, 1/3" high)` tokenizes on
+	// every units.Normalize call otherwise). Hand-built Food values
+	// without a cache fall back to normalizing on demand.
+	unitCache []weightUnit
+}
+
+// weightUnit is one cached canonical resolution of a weight row's unit.
+type weightUnit struct {
+	name  string
+	known bool
+}
+
+// WeightUnit returns the canonical unit name of weight row i and whether
+// the row's raw spelling resolves to a known unit. Equal by construction
+// to units.Normalize(f.Weights[i].Unit), served from the cache NewDB
+// builds.
+func (f *Food) WeightUnit(i int) (string, bool) {
+	if f.unitCache != nil {
+		wu := f.unitCache[i]
+		return wu.name, wu.known
+	}
+	return units.Normalize(f.Weights[i].Unit)
 }
 
 // GramsForUnit returns the gram weight of one canonicalUnit of the food,
@@ -71,7 +95,7 @@ type Food struct {
 func (f *Food) GramsForUnit(canonicalUnit string) (float64, bool) {
 	equivalent := -1
 	for i, w := range f.Weights {
-		name, known := units.Normalize(w.Unit)
+		name, known := f.WeightUnit(i)
 		if !known {
 			continue
 		}
@@ -120,10 +144,17 @@ func NewDB(foods []Food) (*DB, error) {
 		if !f.Per100g.Valid() {
 			return nil, fmt.Errorf("%w: NDB %d has invalid nutrient profile", ErrBadFood, f.NDB)
 		}
-		for _, w := range f.Weights {
+		if len(f.Weights) > 0 {
+			f.unitCache = make([]weightUnit, len(f.Weights))
+		} else {
+			f.unitCache = nil
+		}
+		for j, w := range f.Weights {
 			if w.Amount <= 0 || w.Grams <= 0 || w.Unit == "" {
 				return nil, fmt.Errorf("%w: NDB %d has invalid weight row %+v", ErrBadFood, f.NDB, w)
 			}
+			name, known := units.Normalize(w.Unit)
+			f.unitCache[j] = weightUnit{name: name, known: known}
 		}
 		if _, dup := byNDB[f.NDB]; dup {
 			return nil, fmt.Errorf("%w: %d", ErrDuplicateNDB, f.NDB)
