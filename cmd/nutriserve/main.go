@@ -46,6 +46,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 	workers := flag.Int("workers", 0, "ingredient worker pool per recipe (0: one per CPU)")
 	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
+	coalesce := flag.Bool("coalesce", true, "coalesce concurrent estimates of the same phrase onto one pipeline pass (no effect with -cache 0)")
 	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
 	fuzzy := flag.Bool("fuzzy", false, "enable typo-tolerant matching")
 	quiet := flag.Bool("quiet", false, "disable per-request access logging")
@@ -56,7 +57,7 @@ func main() {
 	if *regional {
 		db = usda.WithRegional()
 	}
-	est, err := core.New(db, nil, core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize})
+	est, err := core.New(db, nil, core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize, DisableCoalescing: !*coalesce})
 	if err != nil {
 		log.Fatalf("nutriserve: %v", err)
 	}

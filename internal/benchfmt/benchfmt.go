@@ -130,11 +130,17 @@ type Report struct {
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
-// WriteJSON emits the entries as an indented JSON report, sorted by name
-// so successive artifacts diff cleanly.
+// WriteJSON emits the entries as an indented JSON report, sorted by
+// (name, procs) so successive artifacts diff cleanly — the same
+// benchmark run at -cpu 1,4 yields two stably-ordered entries.
 func WriteJSON(w io.Writer, entries []Entry) error {
 	sorted := append([]Entry(nil), entries...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return sorted[i].Procs < sorted[j].Procs
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Report{Benchmarks: sorted})
@@ -148,32 +154,46 @@ type Regression struct {
 
 func (r Regression) String() string { return r.Name + ": " + r.Reason }
 
-// Gate compares new against old entries (matched by Name) and returns
-// every violation of the perf contract: ns/op more than maxSlowdown
-// worse (e.g. 0.10 = +10%), or any increase in allocs/op. Benchmarks
-// present on only one side are ignored — adding or removing a benchmark
-// is not a regression.
+// gateKey identifies one comparable series: a benchmark run at -cpu 1,4
+// is two series, and a 4-proc result must never gate against the 1-proc
+// baseline.
+type gateKey struct {
+	name  string
+	procs int
+}
+
+// Gate compares new against old entries (matched by Name and Procs) and
+// returns every violation of the perf contract: ns/op more than
+// maxSlowdown worse (e.g. 0.10 = +10%), or any increase in allocs/op.
+// Benchmarks present on only one side are ignored — adding or removing
+// a benchmark is not a regression.
 func Gate(old, new []Entry, maxSlowdown float64) []Regression {
-	base := make(map[string]Entry, len(old))
+	base := make(map[gateKey]Entry, len(old))
 	for _, e := range old {
-		base[e.Name] = e
+		base[gateKey{e.Name, e.Procs}] = e
 	}
 	var regs []Regression
 	for _, e := range new {
-		o, ok := base[e.Name]
+		o, ok := base[gateKey{e.Name, e.Procs}]
 		if !ok {
 			continue
 		}
+		// Report multi-proc series under their -N suffix so a -cpu 1,4
+		// violation names the series that regressed.
+		name := e.Name
+		if e.Procs != 1 {
+			name = fmt.Sprintf("%s-%d", e.Name, e.Procs)
+		}
 		if o.NsPerOp > 0 && e.NsPerOp > o.NsPerOp*(1+maxSlowdown) {
 			regs = append(regs, Regression{
-				Name: e.Name,
+				Name: name,
 				Reason: fmt.Sprintf("ns/op %.1f → %.1f (+%.1f%%, limit +%.0f%%)",
 					o.NsPerOp, e.NsPerOp, 100*(e.NsPerOp/o.NsPerOp-1), 100*maxSlowdown),
 			})
 		}
 		if o.AllocsPerOp >= 0 && e.AllocsPerOp > o.AllocsPerOp {
 			regs = append(regs, Regression{
-				Name: e.Name,
+				Name: name,
 				Reason: fmt.Sprintf("allocs/op %d → %d (any increase fails)",
 					o.AllocsPerOp, e.AllocsPerOp),
 			})

@@ -73,6 +73,63 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestGateProcs pins the -cpu 1,4 behavior: the same benchmark name at
+// different GOMAXPROCS is two independent series. A 4-proc result must
+// gate only against the 4-proc baseline, and a violation names the
+// series with its -N suffix.
+func TestGateProcs(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkEstimateBatch/parallel", Procs: 1, NsPerOp: 4000, AllocsPerOp: 10},
+		{Name: "BenchmarkEstimateBatch/parallel", Procs: 4, NsPerOp: 1000, AllocsPerOp: 10},
+	}
+	// The 4-proc series regresses; the 1-proc series is fine even though
+	// its ns/op sits far above the 4-proc baseline.
+	regs := Gate(old, []Entry{
+		{Name: "BenchmarkEstimateBatch/parallel", Procs: 1, NsPerOp: 4100, AllocsPerOp: 10},
+		{Name: "BenchmarkEstimateBatch/parallel", Procs: 4, NsPerOp: 2000, AllocsPerOp: 10},
+	}, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions (%v), want 1", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkEstimateBatch/parallel-4" {
+		t.Errorf("regression name = %q, want the -4 series", regs[0].Name)
+	}
+	// A series present on only one side is ignored, whatever its procs.
+	if regs := Gate(old, []Entry{
+		{Name: "BenchmarkEstimateBatch/parallel", Procs: 8, NsPerOp: 9999, AllocsPerOp: 99},
+	}, 0.10); len(regs) != 0 {
+		t.Errorf("unmatched procs should not gate: %v", regs)
+	}
+}
+
+// TestWriteJSONProcsOrder pins the artifact ordering: same name sorts
+// by procs so a -cpu 1,4 run diffs cleanly between nightlies.
+func TestWriteJSONProcsOrder(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteJSON(&buf, []Entry{
+		{Name: "BenchmarkB", Procs: 4, NsPerOp: 1},
+		{Name: "BenchmarkA", Procs: 4, NsPerOp: 1},
+		{Name: "BenchmarkB", Procs: 1, NsPerOp: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	got := make([][2]any, len(rep.Benchmarks))
+	for i, e := range rep.Benchmarks {
+		got[i] = [2]any{e.Name, e.Procs}
+	}
+	want := [][2]any{{"BenchmarkA", 4}, {"BenchmarkB", 1}, {"BenchmarkB", 4}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestGate(t *testing.T) {
 	old := []Entry{
 		{Name: "BenchmarkRank", NsPerOp: 1000, AllocsPerOp: 0},

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nutriprofile/internal/ner"
+	"nutriprofile/internal/pipeline"
+	"nutriprofile/internal/usda"
+)
+
+// gatedTagger wraps the rule tagger, counting Tag calls and blocking
+// each one on a gate. Implementing only ner.Tagger (not ScratchTagger)
+// keeps the count exact: every pipeline pass takes this path once.
+type gatedTagger struct {
+	inner ner.RuleTagger
+	gate  chan struct{}
+	calls atomic.Int64
+}
+
+func (g *gatedTagger) Tag(tokens []string) []ner.Label {
+	g.calls.Add(1)
+	<-g.gate
+	return g.inner.Tag(tokens)
+}
+
+// TestCoalescingStormExactlyOnce drives 32 goroutines across 4 unique
+// phrases while the pipeline is gated shut, then asserts exactly one
+// pipeline execution per unique key: 4 leads, 28 coalesced waiters, 4
+// Tag calls. Deterministic because no result can land in the phrase
+// cache until the gate opens — every goroutine either leads or joins a
+// flight, never races a completed entry. Run under -race this also
+// exercises the Group's publication ordering.
+func TestCoalescingStormExactlyOnce(t *testing.T) {
+	tagger := &gatedTagger{gate: make(chan struct{})}
+	e, err := New(usda.Seed(), tagger, Options{CacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phrases := []string{
+		"2 cups flour",
+		"1 tbsp butter",
+		"3 large eggs",
+		"1 cup whole milk",
+	}
+	const goroutines = 32 // 8 per phrase
+	results := make([]IngredientResult, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := pipeline.Get()
+			defer pipeline.Put(sc)
+			results[i] = e.EstimateIngredientScratch(phrases[i%len(phrases)], sc)
+		}(i)
+	}
+
+	// Wait for the storm to assemble: one leader per phrase blocked in
+	// Tag, everyone else parked on a flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := e.FlightStats()
+		if s.Leads == 4 && s.Coalesced == goroutines-4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("storm never assembled: %+v (tag calls %d)", s, tagger.calls.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(tagger.gate)
+	wg.Wait()
+
+	if n := tagger.calls.Load(); n != int64(len(phrases)) {
+		t.Errorf("pipeline executed %d times, want %d (exactly once per unique key)", n, len(phrases))
+	}
+	s := e.FlightStats()
+	if s.Leads != 4 || s.Coalesced != goroutines-4 || s.InFlight != 0 {
+		t.Errorf("final flight stats = %+v, want 4 leads, %d coalesced, 0 in flight", s, goroutines-4)
+	}
+
+	// Every caller of the same phrase got the same result, identical to
+	// a fresh uncoalesced estimate.
+	plain, err := New(usda.Seed(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		phrase := phrases[i%len(phrases)]
+		if r.Phrase != phrase {
+			t.Errorf("caller %d: Phrase = %q, want %q", i, r.Phrase, phrase)
+		}
+		want := plain.EstimateIngredient(phrase)
+		if r.Extraction != want.Extraction || r.Grams != want.Grams ||
+			r.Profile != want.Profile || r.Mapped != want.Mapped {
+			t.Errorf("caller %d (%q): coalesced result diverges from fresh estimate", i, phrase)
+		}
+	}
+
+	// The results are cached now: a repeat estimate is a pure cache hit
+	// and must not open a new flight.
+	before := e.FlightStats()
+	for _, p := range phrases {
+		if r := e.EstimateIngredient(p); r.Phrase != p {
+			t.Errorf("cached repeat of %q: Phrase = %q", p, r.Phrase)
+		}
+	}
+	if after := e.FlightStats(); after.Leads != before.Leads {
+		t.Errorf("cache hits opened new flights: %+v → %+v", before, after)
+	}
+}
+
+// TestDisableCoalescing asserts the ablation switch bypasses the flight
+// group entirely while preserving results and caching.
+func TestDisableCoalescing(t *testing.T) {
+	e, err := New(usda.Seed(), nil, Options{CacheSize: 64, DisableCoalescing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := e.EstimateIngredient("2 cups flour")
+	r2 := e.EstimateIngredient("2 cups flour")
+	if r1.Phrase != r2.Phrase || r1.Grams != r2.Grams || r1.Profile != r2.Profile {
+		t.Error("repeat estimate diverged with coalescing disabled")
+	}
+	if s := e.FlightStats(); s.Leads != 0 || s.Coalesced != 0 {
+		t.Errorf("flight stats touched despite DisableCoalescing: %+v", s)
+	}
+	phrase, _ := e.CacheStats()
+	if phrase.Hits == 0 {
+		t.Error("phrase cache not hit on repeat")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nutriprofile/internal/flight"
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
 	"nutriprofile/internal/ner"
@@ -104,6 +105,13 @@ type Options struct {
 	// 0 (the zero value) disables both caches. ObserveUnits invalidates
 	// the phrase cache, since it changes the most-frequent-unit state.
 	CacheSize int
+	// DisableCoalescing turns off single-flight deduplication of
+	// concurrent cache misses (see internal/flight). On by default when
+	// caching is enabled; coalescing is a no-op for sequential callers,
+	// so the switch exists for ablation benchmarks and as an escape
+	// hatch. Meaningless when CacheSize == 0 — with no cache to land
+	// results in, deduplicating the computation would not be observable.
+	DisableCoalescing bool
 	// Ablation switches.
 	DisableConversion   bool
 	DisablePhraseSearch bool
@@ -141,6 +149,11 @@ type Estimator struct {
 	// shared across goroutines and treated as read-only.
 	phraseCache *memo.Cache[IngredientResult]
 	matchCache  *memo.Cache[matchHit]
+
+	// flights coalesces concurrent phrase-cache misses on the same
+	// normalized token stream: one pipeline pass runs, every waiter
+	// shares its result. Sits below the cache — see estimateCached.
+	flights flight.Group[IngredientResult]
 }
 
 // matchHit is the memoized outcome of one description-match query.
@@ -246,12 +259,47 @@ func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch) Ingredie
 		r.Phrase = phrase
 		return r
 	}
-	r := e.estimateTokenized(phrase, sc)
-	// key still aliases the scratch (nothing downstream of Tokenize
-	// touches the phrase-key buffer); materialize it only on this miss
-	// path.
-	e.phraseCache.Put(string(key), r)
+	if e.opts.DisableCoalescing {
+		r := e.estimateTokenized(phrase, sc)
+		// key still aliases the scratch (nothing downstream of Tokenize
+		// touches the phrase-key buffer); materialize it only on this
+		// miss path. Scrub the verbatim phrase from the stored copy: the
+		// cache is keyed on the token stream, and the serving layer may
+		// pass phrases whose backing bytes it reuses after the call.
+		stored := r
+		stored.Phrase = ""
+		e.phraseCache.Put(string(key), stored)
+		return r
+	}
+	// Coalesce concurrent misses on the same token stream: under load,
+	// the same phrase is often requested again while the first pipeline
+	// pass is still running, and the cache can only absorb repeats after
+	// a result lands. The leader computes, stores, and shares; waiters
+	// block on its flight instead of redoing the pass. The shared value
+	// carries no Phrase for the same reason the stored one doesn't.
+	r, _ := e.flights.Do(key, func() IngredientResult {
+		r := e.estimateTokenized(phrase, sc)
+		r.Phrase = ""
+		e.phraseCache.Put(string(key), r)
+		return r
+	})
+	r.Phrase = phrase
 	return r
+}
+
+// FlightStats reports the single-flight coalescing counters: how many
+// cache misses led a pipeline pass and how many shared another caller's
+// in-flight result. Zero everywhere when caching or coalescing is off.
+func (e *Estimator) FlightStats() flight.Stats { return e.flights.Stats() }
+
+// EstimateIngredientScratch is EstimateIngredient on a caller-owned
+// scratch, for callers (like the serving layer) that pool their own
+// pipeline scratches across requests. The phrase may be backed by a
+// caller-reused buffer: neither the caches nor the shared flight
+// results retain it past the call. The same read-only contract as
+// EstimateIngredient applies to the returned result.
+func (e *Estimator) EstimateIngredientScratch(phrase string, sc *pipeline.Scratch) IngredientResult {
+	return e.estimateCached(phrase, sc)
 }
 
 // matchQuery runs the configured description match, memoized when the

@@ -1,0 +1,103 @@
+// Package flight provides in-flight call coalescing (the "single
+// flight" pattern): concurrent callers presenting the same key share
+// one execution of the underlying function and all receive its result.
+//
+// It exists for the serving layer's cache-miss path. Recipe traffic is
+// highly repetitive — the same ingredient phrases recur across
+// requests — so under load the expensive pipeline pass for a phrase is
+// frequently requested again while the first pass is still running.
+// The memo cache only absorbs repeats *after* a result lands; flight
+// absorbs the window in between. It sits below the cache: a lookup
+// misses, then joins or leads a flight, and only the leader stores the
+// result.
+//
+// Unlike golang.org/x/sync/singleflight, keys are []byte (the memo
+// layer's native key type) and the duplicate-caller probe does not
+// allocate: the map lookup compiles to a no-copy string view of the
+// key. Only the leader — who is about to run a far more expensive
+// function — materializes the key.
+package flight
+
+import "sync"
+
+// Group coalesces concurrent calls by key. The zero value is ready to
+// use. V is the shared result type; all callers of a flight receive the
+// same value, so V should be a value type or treated as immutable.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*call[V]
+
+	// Counters are cumulative over the Group's lifetime.
+	leads     uint64 // calls that executed fn
+	coalesced uint64 // calls that waited on another caller's fn
+}
+
+// call is one in-flight execution.
+type call[V any] struct {
+	wg       sync.WaitGroup
+	val      V
+	panicked any // non-nil if fn panicked; re-raised in every caller
+}
+
+// Stats is a point-in-time snapshot of a Group's counters.
+type Stats struct {
+	Leads     uint64 `json:"leads"`
+	Coalesced uint64 `json:"coalesced"`
+	InFlight  int    `json:"in_flight"`
+}
+
+// Do executes fn exactly once among all concurrent callers presenting
+// the same key, returning fn's value to every caller. shared reports
+// whether this caller received another caller's result. If fn panics,
+// the panic propagates to every caller in the flight.
+//
+// The key is only retained (copied) by a leader; duplicate callers
+// never allocate on the probe.
+func (g *Group[V]) Do(key []byte, fn func() V) (v V, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[string(key)]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		c.wg.Wait()
+		if c.panicked != nil {
+			panic(c.panicked)
+		}
+		return c.val, true
+	}
+	if g.m == nil {
+		g.m = make(map[string]*call[V])
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	k := string(key) // leader pays the one copy; the map must own stable bytes
+	g.m[k] = c
+	g.leads++
+	g.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicked = r
+		}
+		// Publish before unregistering so a caller that found c always
+		// sees the final value; callers arriving after the delete start
+		// a fresh flight, which is correct — the result they would have
+		// shared is (about to be) in the cache above us.
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.m, k)
+		g.mu.Unlock()
+		if c.panicked != nil {
+			panic(c.panicked)
+		}
+	}()
+
+	c.val = fn()
+	return c.val, false
+}
+
+// Stats returns a snapshot of the Group's counters.
+func (g *Group[V]) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{Leads: g.leads, Coalesced: g.coalesced, InFlight: len(g.m)}
+}

@@ -1,0 +1,196 @@
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group[int]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, shared := g.Do([]byte("k"), func() int { calls++; return calls })
+		if shared {
+			t.Errorf("call %d: shared=true with no concurrency", i)
+		}
+		if v != i+1 {
+			t.Errorf("call %d: v=%d, want %d", i, v, i+1)
+		}
+	}
+	s := g.Stats()
+	if s.Leads != 3 || s.Coalesced != 0 || s.InFlight != 0 {
+		t.Errorf("stats = %+v, want 3 leads, 0 coalesced, 0 in flight", s)
+	}
+}
+
+// TestDoCoalesces holds one flight open behind a gate while duplicate
+// callers pile on, then asserts fn ran exactly once and everyone got
+// its value.
+func TestDoCoalesces(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	var execs atomic.Int64
+
+	const dups = 16
+	var wg sync.WaitGroup
+	results := make([]int, dups)
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _ := g.Do([]byte("key"), func() int {
+				execs.Add(1)
+				<-gate
+				return 42
+			})
+			results[i] = v
+		}(i)
+	}
+
+	// Wait until one leader is registered and the rest are queued
+	// behind it, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := g.Stats()
+		if s.Leads == 1 && s.Coalesced == dups-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Errorf("fn executed %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+	}
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("in-flight after drain = %d, want 0", s.InFlight)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce runs two keys concurrently and asserts
+// both functions execute.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group[string]
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			v, shared := g.Do([]byte(key), func() string {
+				<-gate
+				return key
+			})
+			if shared {
+				t.Errorf("key %q: shared=true", key)
+			}
+			if v != key {
+				t.Errorf("key %q: got %q", key, v)
+			}
+		}(key)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().InFlight != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("both flights never registered: %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if s := g.Stats(); s.Leads != 2 || s.Coalesced != 0 {
+		t.Errorf("stats = %+v, want 2 leads, 0 coalesced", s)
+	}
+}
+
+// TestPanicPropagates asserts a leader's panic reaches both the leader
+// and its followers, and that the flight is unregistered afterwards.
+func TestPanicPropagates(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	caught := make(chan any, 1)
+	go func() {
+		defer func() { caught <- recover() }()
+		g.Do([]byte("boom"), func() int {
+			close(entered)
+			<-gate
+			panic("kaboom")
+		})
+	}()
+	<-entered
+	// Queue a follower behind the leader before releasing the gate.
+	follower := make(chan any, 1)
+	go func() {
+		defer func() { follower <- recover() }()
+		g.Do([]byte("boom"), func() int { return 0 })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	if r := <-caught; r != "kaboom" {
+		t.Errorf("leader recovered %v, want kaboom", r)
+	}
+	if r := <-follower; r != "kaboom" {
+		t.Errorf("follower recovered %v, want kaboom", r)
+	}
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("in-flight after panic = %d, want 0", s.InFlight)
+	}
+	// The group must remain usable.
+	if v, _ := g.Do([]byte("boom"), func() int { return 7 }); v != 7 {
+		t.Errorf("post-panic Do = %d, want 7", v)
+	}
+}
+
+// TestDuplicateProbeZeroAllocs guards the no-alloc contract for
+// coalescing callers: probing an occupied key must not copy it.
+func TestDuplicateProbeZeroAllocs(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Do([]byte("occupied"), func() int { <-gate; return 1 })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().InFlight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	key := []byte("occupied")
+	allocs := testing.AllocsPerRun(100, func() {
+		g.mu.Lock()
+		_, ok := g.m[string(key)]
+		g.mu.Unlock()
+		if !ok {
+			t.Fatal("flight vanished")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate probe allocates %v per run, want 0", allocs)
+	}
+	close(gate)
+	<-done
+}

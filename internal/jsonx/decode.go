@@ -1,0 +1,375 @@
+package jsonx
+
+// A pull decoder for the serving layer's request shapes: flat objects of
+// scalars and string arrays. The design goal is zero heap allocations on
+// the steady state — string values are returned as sub-slices of the
+// input buffer when they contain no escapes, and unescaped into an
+// append-only scratch otherwise, so the caller can view them without
+// materializing Go strings. Errors allocate; they are the cold path.
+//
+// Semantics mirror encoding/json's Decoder for these shapes: leading
+// `null` decodes to the zero value, numbers bound for int fields must be
+// integer literals, duplicate keys keep the last value, and decoding
+// reads exactly one JSON value (trailing bytes are ignored, as
+// Decoder.Decode does). Unknown-field rejection is the caller's loop —
+// see Decoder.Member.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"unicode/utf8"
+)
+
+// ErrUnexpectedEnd mirrors encoding/json's "unexpected end of JSON
+// input" class of failures.
+var ErrUnexpectedEnd = errors.New("unexpected end of JSON input")
+
+// Decoder reads one JSON value from a byte buffer. The zero value is
+// ready after Reset. Returned byte slices alias either the input buffer
+// or the decoder's scratch and stay valid until the next Reset.
+type Decoder struct {
+	data []byte
+	pos  int
+	// scratch holds unescaped string values, append-only within one
+	// Reset so earlier returned values stay intact while later ones are
+	// decoded (growth abandons, never rewrites, prior backing arrays).
+	scratch []byte
+}
+
+// Reset points the decoder at a new buffer and invalidates every slice
+// returned since the previous Reset.
+func (d *Decoder) Reset(data []byte) {
+	d.data = data
+	d.pos = 0
+	d.scratch = d.scratch[:0]
+}
+
+func (d *Decoder) skipSpace() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+// null consumes a `null` literal if one is next.
+func (d *Decoder) null() bool {
+	if d.pos+4 <= len(d.data) && string(d.data[d.pos:d.pos+4]) == "null" {
+		d.pos += 4
+		return true
+	}
+	return false
+}
+
+func (d *Decoder) errAt(what string) error {
+	if d.pos >= len(d.data) {
+		return ErrUnexpectedEnd
+	}
+	return fmt.Errorf("invalid character %q %s", d.data[d.pos], what)
+}
+
+// ObjectStart consumes `{` or `null`, reporting isNull for the latter —
+// the shape of a request body whose top level may be null (decoding
+// null into a struct is a no-op for encoding/json).
+func (d *Decoder) ObjectStart() (isNull bool, err error) {
+	d.skipSpace()
+	if d.null() {
+		return true, nil
+	}
+	if d.pos < len(d.data) && d.data[d.pos] == '{' {
+		d.pos++
+		return false, nil
+	}
+	return false, d.errAt("looking for beginning of object")
+}
+
+// Member advances to the object's next member and returns its key, with
+// ok=false at the closing brace. first distinguishes the opening member
+// from comma-separated successors. The key aliases decoder memory; the
+// caller must consume the member's value before calling Member again.
+func (d *Decoder) Member(first bool) (key []byte, ok bool, err error) {
+	d.skipSpace()
+	if d.pos >= len(d.data) {
+		return nil, false, ErrUnexpectedEnd
+	}
+	if d.data[d.pos] == '}' {
+		d.pos++
+		return nil, false, nil
+	}
+	if !first {
+		if d.data[d.pos] != ',' {
+			return nil, false, d.errAt("after object member")
+		}
+		d.pos++
+		d.skipSpace()
+	}
+	key, err = d.str()
+	if err != nil {
+		return nil, false, err
+	}
+	d.skipSpace()
+	if d.pos >= len(d.data) || d.data[d.pos] != ':' {
+		return nil, false, d.errAt("after object key")
+	}
+	d.pos++
+	return key, true, nil
+}
+
+// String reads a string value; `null` yields (nil, true, nil), matching
+// encoding/json's no-op decode of null into a string field.
+func (d *Decoder) String() (val []byte, isNull bool, err error) {
+	d.skipSpace()
+	if d.null() {
+		return nil, true, nil
+	}
+	val, err = d.str()
+	return val, false, err
+}
+
+// ArrayStart consumes `[` or `null` (isNull, the nil-slice decode).
+func (d *Decoder) ArrayStart() (isNull bool, err error) {
+	d.skipSpace()
+	if d.null() {
+		return true, nil
+	}
+	if d.pos < len(d.data) && d.data[d.pos] == '[' {
+		d.pos++
+		return false, nil
+	}
+	return false, d.errAt("looking for beginning of array")
+}
+
+// ArrayNext reports whether another element follows, consuming the
+// separating comma or the closing bracket.
+func (d *Decoder) ArrayNext(first bool) (more bool, err error) {
+	d.skipSpace()
+	if d.pos >= len(d.data) {
+		return false, ErrUnexpectedEnd
+	}
+	if d.data[d.pos] == ']' {
+		d.pos++
+		return false, nil
+	}
+	if first {
+		return true, nil
+	}
+	if d.data[d.pos] != ',' {
+		return false, d.errAt("after array element")
+	}
+	d.pos++
+	return true, nil
+}
+
+// Int reads an integer value; `null` yields (0, true, nil). A valid JSON
+// number that is not an integer literal (fractions, exponents) is
+// rejected the way encoding/json rejects it for an int field.
+func (d *Decoder) Int() (v int64, isNull bool, err error) {
+	d.skipSpace()
+	if d.null() {
+		return 0, true, nil
+	}
+	start := d.pos
+	if err := d.number(); err != nil {
+		return 0, false, err
+	}
+	lit := d.data[start:d.pos]
+	v, perr := strconv.ParseInt(string(lit), 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("cannot decode number %s into an integer field", lit)
+	}
+	return v, false, nil
+}
+
+// number consumes one JSON number literal, validating the grammar
+// (-?int frac? exp?) so Int can tell a malformed document from a
+// well-formed non-integer.
+func (d *Decoder) number() error {
+	if d.pos < len(d.data) && d.data[d.pos] == '-' {
+		d.pos++
+	}
+	switch {
+	case d.pos >= len(d.data):
+		return ErrUnexpectedEnd
+	case d.data[d.pos] == '0':
+		d.pos++
+	case d.data[d.pos] >= '1' && d.data[d.pos] <= '9':
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+		}
+	default:
+		return d.errAt("in numeric literal")
+	}
+	if d.pos < len(d.data) && d.data[d.pos] == '.' {
+		d.pos++
+		if err := d.digits(); err != nil {
+			return err
+		}
+	}
+	if d.pos < len(d.data) && (d.data[d.pos] == 'e' || d.data[d.pos] == 'E') {
+		d.pos++
+		if d.pos < len(d.data) && (d.data[d.pos] == '+' || d.data[d.pos] == '-') {
+			d.pos++
+		}
+		if err := d.digits(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) digits() error {
+	if d.pos >= len(d.data) || d.data[d.pos] < '0' || d.data[d.pos] > '9' {
+		return d.errAt("in numeric literal")
+	}
+	for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+		d.pos++
+	}
+	return nil
+}
+
+// str reads a string literal. The fast path — no escapes, pure ASCII —
+// returns a zero-copy sub-slice of the input; anything else is decoded
+// into the scratch with encoding/json's semantics (named and \uXXXX
+// escapes, surrogate pairs, invalid UTF-8 and unpaired surrogates
+// replaced with U+FFFD, raw control bytes rejected).
+func (d *Decoder) str() ([]byte, error) {
+	if d.pos >= len(d.data) || d.data[d.pos] != '"' {
+		return nil, d.errAt("looking for beginning of string")
+	}
+	d.pos++
+	start := d.pos
+	for i := d.pos; i < len(d.data); i++ {
+		switch c := d.data[i]; {
+		case c == '"':
+			d.pos = i + 1
+			return d.data[start:i], nil
+		case c == '\\' || c >= utf8.RuneSelf:
+			return d.strSlow(start, i)
+		case c < 0x20:
+			d.pos = i
+			return nil, fmt.Errorf("invalid control character %q in string literal", c)
+		}
+	}
+	d.pos = len(d.data)
+	return nil, ErrUnexpectedEnd
+}
+
+// strSlow finishes a string containing escapes or non-ASCII bytes,
+// appending the decoded value to the scratch. start is the first content
+// byte, i the first byte needing attention.
+func (d *Decoder) strSlow(start, i int) ([]byte, error) {
+	from := len(d.scratch)
+	d.scratch = append(d.scratch, d.data[start:i]...)
+	for i < len(d.data) {
+		switch c := d.data[i]; {
+		case c == '"':
+			d.pos = i + 1
+			return d.scratch[from:], nil
+		case c < 0x20:
+			d.pos = i
+			return nil, fmt.Errorf("invalid control character %q in string literal", c)
+		case c == '\\':
+			var err error
+			i, err = d.escape(i)
+			if err != nil {
+				return nil, err
+			}
+		case c < utf8.RuneSelf:
+			d.scratch = append(d.scratch, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(d.data[i:])
+			if r == utf8.RuneError && size == 1 {
+				d.scratch = utf8.AppendRune(d.scratch, utf8.RuneError)
+				i++
+				continue
+			}
+			d.scratch = append(d.scratch, d.data[i:i+size]...)
+			i += size
+		}
+	}
+	d.pos = len(d.data)
+	return nil, ErrUnexpectedEnd
+}
+
+// escape decodes one backslash escape starting at i, appending to the
+// scratch and returning the index past the escape.
+func (d *Decoder) escape(i int) (int, error) {
+	if i+1 >= len(d.data) {
+		d.pos = len(d.data)
+		return i, ErrUnexpectedEnd
+	}
+	switch c := d.data[i+1]; c {
+	case '"', '\\', '/':
+		d.scratch = append(d.scratch, c)
+		return i + 2, nil
+	case 'b':
+		d.scratch = append(d.scratch, '\b')
+		return i + 2, nil
+	case 'f':
+		d.scratch = append(d.scratch, '\f')
+		return i + 2, nil
+	case 'n':
+		d.scratch = append(d.scratch, '\n')
+		return i + 2, nil
+	case 'r':
+		d.scratch = append(d.scratch, '\r')
+		return i + 2, nil
+	case 't':
+		d.scratch = append(d.scratch, '\t')
+		return i + 2, nil
+	case 'u':
+		r, next, err := d.hex4(i + 2)
+		if err != nil {
+			return i, err
+		}
+		if utf16IsHighSurrogate(r) && next+6 <= len(d.data) &&
+			d.data[next] == '\\' && d.data[next+1] == 'u' {
+			if r2, next2, err2 := d.hex4(next + 2); err2 == nil && utf16IsLowSurrogate(r2) {
+				d.scratch = utf8.AppendRune(d.scratch,
+					((r-0xD800)<<10|(r2-0xDC00))+0x10000)
+				return next2, nil
+			}
+		}
+		if r >= 0xD800 && r < 0xE000 {
+			// Unpaired surrogate half: encoding/json substitutes U+FFFD.
+			r = utf8.RuneError
+		}
+		d.scratch = utf8.AppendRune(d.scratch, r)
+		return next, nil
+	default:
+		d.pos = i
+		return i, fmt.Errorf("invalid escape \\%c in string literal", c)
+	}
+}
+
+// hex4 parses four hex digits at i, returning the rune and the index
+// past them.
+func (d *Decoder) hex4(i int) (rune, int, error) {
+	if i+4 > len(d.data) {
+		d.pos = len(d.data)
+		return 0, i, ErrUnexpectedEnd
+	}
+	var r rune
+	for _, c := range d.data[i : i+4] {
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			d.pos = i
+			return 0, i, fmt.Errorf("invalid character %q in \\u escape", c)
+		}
+	}
+	return r, i + 4, nil
+}
+
+func utf16IsHighSurrogate(r rune) bool { return r >= 0xD800 && r < 0xDC00 }
+func utf16IsLowSurrogate(r rune) bool  { return r >= 0xDC00 && r < 0xE000 }

@@ -1,6 +1,10 @@
 package metrics
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+	"time"
+)
 
 // RuntimeStats is a point-in-time view of the Go runtime's memory and
 // scheduler gauges — the numbers that tell an operator whether the
@@ -39,4 +43,38 @@ func ReadRuntime() RuntimeStats {
 		GCPauseTotalMs:  float64(m.PauseTotalNs) / 1e6,
 		Goroutines:      runtime.NumGoroutine(),
 	}
+}
+
+// RuntimeSampler caches ReadRuntime behind a TTL so a hot stats
+// endpoint stops the world at most once per interval no matter how
+// often it is scraped. Construct with NewRuntimeSampler; safe for
+// concurrent use.
+type RuntimeSampler struct {
+	ttl time.Duration
+
+	// Seams for tests; NewRuntimeSampler wires the real clock and reader.
+	now  func() time.Time
+	read func() RuntimeStats
+
+	mu   sync.Mutex
+	last time.Time
+	snap RuntimeStats
+}
+
+// NewRuntimeSampler builds a sampler that refreshes at most once per
+// ttl; ttl <= 0 samples on every call.
+func NewRuntimeSampler(ttl time.Duration) *RuntimeSampler {
+	return &RuntimeSampler{ttl: ttl, now: time.Now, read: ReadRuntime}
+}
+
+// Sample returns the cached snapshot, refreshing it first when older
+// than the TTL.
+func (s *RuntimeSampler) Sample() RuntimeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := s.now(); s.last.IsZero() || now.Sub(s.last) >= s.ttl {
+		s.snap = s.read()
+		s.last = now
+	}
+	return s.snap
 }

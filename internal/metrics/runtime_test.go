@@ -2,7 +2,9 @@ package metrics
 
 import (
 	"encoding/json"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestReadRuntime: the gauges must be populated and internally
@@ -63,4 +65,54 @@ func TestRuntimeStatsJSON(t *testing.T) {
 			t.Errorf("missing JSON key %q in %s", key, raw)
 		}
 	}
+}
+
+// TestRuntimeSamplerTTL drives the sampler on a fake clock and asserts
+// the expensive read runs once per TTL window, not once per call.
+func TestRuntimeSamplerTTL(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	reads := 0
+	s := NewRuntimeSampler(time.Second)
+	s.now = func() time.Time { return clock }
+	s.read = func() RuntimeStats { reads++; return RuntimeStats{Mallocs: uint64(reads)} }
+
+	for i := 0; i < 10; i++ {
+		if got := s.Sample().Mallocs; got != 1 {
+			t.Fatalf("call %d within TTL: snapshot %d, want 1", i, got)
+		}
+	}
+	if reads != 1 {
+		t.Fatalf("reads within TTL = %d, want 1", reads)
+	}
+
+	clock = clock.Add(999 * time.Millisecond)
+	s.Sample()
+	if reads != 1 {
+		t.Errorf("read refreshed before TTL expired (reads = %d)", reads)
+	}
+
+	clock = clock.Add(time.Millisecond) // exactly TTL since last refresh
+	if got := s.Sample().Mallocs; got != 2 || reads != 2 {
+		t.Errorf("after TTL: snapshot %d reads %d, want 2 and 2", got, reads)
+	}
+}
+
+// TestRuntimeSamplerConcurrent hammers one sampler from many goroutines
+// under the race detector.
+func TestRuntimeSamplerConcurrent(t *testing.T) {
+	s := NewRuntimeSampler(time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if s.Sample().Goroutines < 1 {
+					t.Error("empty snapshot")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"nutriprofile/internal/jsonx"
 )
 
 // Profile holds nutrient amounts. In a food-composition table a Profile is
@@ -108,6 +110,36 @@ func (p Profile) fields() [11]float64 {
 // consistent.
 func (p Profile) MacroEnergyKcal() float64 {
 	return 4*p.ProteinG + 9*p.FatG + 4*p.CarbsG
+}
+
+// AppendJSON appends p's wire form, byte-identical to json.Marshal of
+// the struct (same field order as the tags above, every field emitted).
+// The serving layer's pooled codec calls this on its hot path; the
+// equality is pinned by differential tests there and in this package.
+func (p Profile) AppendJSON(b []byte) []byte {
+	b = append(b, `{"energy_kcal":`...)
+	b = jsonx.AppendFloat(b, p.EnergyKcal)
+	b = append(b, `,"protein_g":`...)
+	b = jsonx.AppendFloat(b, p.ProteinG)
+	b = append(b, `,"fat_g":`...)
+	b = jsonx.AppendFloat(b, p.FatG)
+	b = append(b, `,"carbs_g":`...)
+	b = jsonx.AppendFloat(b, p.CarbsG)
+	b = append(b, `,"fiber_g":`...)
+	b = jsonx.AppendFloat(b, p.FiberG)
+	b = append(b, `,"sugar_g":`...)
+	b = jsonx.AppendFloat(b, p.SugarG)
+	b = append(b, `,"calcium_mg":`...)
+	b = jsonx.AppendFloat(b, p.CalciumMg)
+	b = append(b, `,"iron_mg":`...)
+	b = jsonx.AppendFloat(b, p.IronMg)
+	b = append(b, `,"sodium_mg":`...)
+	b = jsonx.AppendFloat(b, p.SodiumMg)
+	b = append(b, `,"vitc_mg":`...)
+	b = jsonx.AppendFloat(b, p.VitCMg)
+	b = append(b, `,"chol_mg":`...)
+	b = jsonx.AppendFloat(b, p.CholMg)
+	return append(b, '}')
 }
 
 // String renders a compact single-line summary.

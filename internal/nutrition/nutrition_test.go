@@ -1,6 +1,7 @@
 package nutrition
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -157,5 +158,28 @@ func TestScalePreservesValidity(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAppendJSONMatchesEncodingJSON pins the hand-written encoder
+// against json.Marshal across zero, typical, and boundary profiles.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	cases := []Profile{
+		{},
+		{EnergyKcal: 251, ProteinG: 8.5, FatG: 3.2, CarbsG: 47.9,
+			FiberG: 1.7, SugarG: 0.25, CalciumMg: 15, IronMg: 2.9,
+			SodiumMg: 681, VitCMg: 0, CholMg: 0},
+		{EnergyKcal: 1e-7, ProteinG: 1e21, FatG: 0.1 + 0.2, CarbsG: 1.0 / 3},
+		{SodiumMg: 123456.789, VitCMg: 5e-324, CholMg: 9.999e20},
+	}
+	for _, p := range cases {
+		want, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", p, err)
+		}
+		got := p.AppendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("AppendJSON(%+v) = %s, want %s", p, got, want)
+		}
 	}
 }

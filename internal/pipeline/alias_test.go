@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+	"unsafe"
+
+	"nutriprofile/internal/ner"
+)
+
+// TestScratchMemosOwnTheirBytes is the regression test for the
+// serving-layer aliasing bug: the scratch memo maps (lemmas, units)
+// must deep-copy both keys and values, because the serving hot path
+// feeds phrases that are unsafe views into a pooled request buffer —
+// after the request, those bytes are overwritten by unrelated data.
+// Before the fix, lemma.Word's suffix detachment returned substrings of
+// the token ("slices" → "slices"[:5]) that were cached verbatim, so a
+// later request mutated memoized lemmas and unit names in place.
+func TestScratchMemosOwnTheirBytes(t *testing.T) {
+	// The phrase lives in a buffer we control and will clobber.
+	buf := []byte("2 slices bread and 3 tablespoons sugar")
+	phrase := unsafe.String(unsafe.SliceData(buf), len(buf))
+
+	var sc Scratch
+	sc.Tokenize(phrase)
+	sc.Tag()
+
+	// Record the memoized outcomes while the buffer is intact.
+	type unitOutcome struct {
+		name  string
+		known bool
+	}
+	lemmas := make([]string, 0, 8)
+	units := make([]unitOutcome, 0, 8)
+	for _, l := range sc.Lemmas() {
+		lemmas = append(lemmas, l)
+	}
+	for i := range sc.Tokens() {
+		name, known := sc.UnitFor(i)
+		units = append(units, unitOutcome{name, known})
+	}
+	ex := sc.Extract(ner.RuleTagger{})
+
+	// Simulate the next request reusing the buffer.
+	for i := range buf {
+		buf[i] = 'X'
+	}
+
+	// Everything recorded must still read back intact: stale bytes in
+	// any memo value would show up here as mutated strings.
+	wantLemmas := []string{"2", "slice", "bread", "and", "3", "tablespoon", "sugar"}
+	for i, want := range wantLemmas {
+		if lemmas[i] != want {
+			t.Errorf("lemma[%d] = %q after buffer reuse, want %q", i, lemmas[i], want)
+		}
+	}
+	if units[1].name != "slice" || !units[1].known {
+		t.Errorf(`unit for "slices" = (%q, %v) after buffer reuse, want ("slice", true)`, units[1].name, units[1].known)
+	}
+	if units[5].name != "tablespoon" || !units[5].known {
+		t.Errorf(`unit for "tablespoons" = (%q, %v) after buffer reuse, want ("tablespoon", true)`, units[5].name, units[5].known)
+	}
+	if ex.Unit == "" || ex.Name == "" {
+		t.Fatalf("extraction missing fields: %+v", ex)
+	}
+	for _, f := range []string{ex.Name, ex.Unit, ex.Quantity} {
+		for i := 0; i < len(f); i++ {
+			if f[i] == 'X' {
+				t.Fatalf("extraction field %q contains clobbered bytes", f)
+			}
+		}
+	}
+
+	// A second phrase re-hitting the memos must see the original
+	// outcomes, not the clobbered bytes.
+	sc.Tokenize("4 slices ham")
+	if l := sc.Lemmas()[1]; l != "slice" {
+		t.Errorf(`memoized lemma for "slices" = %q, want "slice"`, l)
+	}
+	if name, known := sc.UnitFor(1); name != "slice" || !known {
+		t.Errorf(`memoized unit for "slices" = (%q, %v), want ("slice", true)`, name, known)
+	}
+}

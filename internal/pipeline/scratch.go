@@ -103,6 +103,12 @@ func (sc *Scratch) lemmaOf(tok string) string {
 	key := strings.Clone(tok)
 	if l == tok {
 		l = key
+	} else {
+		// lemma.Word's suffix detachment can return a substring of tok
+		// (e.g. "slices"[:5] via the "s"→"" rule). The cached value must
+		// own its bytes: tok may be a view into a serving-layer buffer
+		// that is overwritten by the next request.
+		l = strings.Clone(l)
 	}
 	sc.lemmaCache[key] = l
 	return l
@@ -123,6 +129,11 @@ func (sc *Scratch) UnitFor(i int) (string, bool) {
 	} else if len(sc.unitCache) >= maxScratchEntries {
 		clear(sc.unitCache)
 	}
+	// Clone the value too: units.lookupUnit echoes unknown (and some
+	// known) spellings back as-is, so name can alias tok — and tok can
+	// be a view into a serving-layer buffer. The memoized hit, and the
+	// IngredientResult.Unit built from it, must outlive that buffer.
+	name = strings.Clone(name)
 	sc.unitCache[strings.Clone(tok)] = unitHit{name: name, known: known}
 	return name, known
 }

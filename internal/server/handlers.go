@@ -4,16 +4,26 @@ package server
 // is JSON; every non-200 body is an ErrorBody whose code is a stable
 // machine-readable string (the fuzz harness enforces this invariant for
 // arbitrary inputs).
+//
+// The estimation routes run on the pooled codec in codec.go: the wire
+// structs below are no longer what goes through encoding/json at
+// request time — they are the *specification* of the wire format, and
+// codec_test.go pins the hand-written encoders byte-for-byte against
+// json.Marshal of these structs. Change a tag here and the codec tests
+// will tell you where the encoder must follow.
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
 	"nutriprofile/internal/core"
+	"nutriprofile/internal/flight"
+	"nutriprofile/internal/jsonx"
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
 	"nutriprofile/internal/metrics"
@@ -31,36 +41,6 @@ type ErrorDetail struct {
 	Code    string `json:"code"` // stable identifier: bad_request, overloaded, timeout, ...
 	Status  int    `json:"status"`
 	Message string `json:"message"`
-}
-
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Status: status, Message: msg}})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// decodeJSON reads one JSON value from the (size-limited) body, mapping
-// failure classes onto the structured error vocabulary.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var maxErr *http.MaxBytesError
-		switch {
-		case errors.As(err, &maxErr):
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
-				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
-		default:
-			writeError(w, http.StatusBadRequest, "bad_json", "request body is not valid JSON for this route: "+err.Error())
-		}
-		return false
-	}
-	return true
 }
 
 // EstimateRequest is the POST /v1/estimate body.
@@ -104,20 +84,49 @@ func toEstimateResponse(r core.IngredientResult) EstimateResponse {
 	return out
 }
 
+// writeRendered flushes a pre-rendered JSON body. The handler owns the
+// body's backing buffer, so this must be the request's final write.
+func writeRendered(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	_, _ = w.Write(body)
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req EstimateRequest
-	if !decodeJSON(w, r, &req) {
-		return
+	sc := getServeScratch()
+	status, body := s.estimateHot(sc, r.Context(), r.Body)
+	writeRendered(w, status, body)
+	putServeScratch(sc)
+}
+
+// estimateHot is the gated steady-state path: read → decode → estimate
+// → encode, everything in scratch-owned memory. With a warm scratch and
+// a phrase-cache hit it performs zero heap allocations (enforced by
+// TestServeEstimateHotZeroAllocs and the serve benchmarks). The
+// returned body aliases sc.out.
+func (s *Server) estimateHot(sc *serveScratch, ctx context.Context, body io.Reader) (int, []byte) {
+	sc.out = sc.out[:0]
+	if err := sc.readBody(body); err != nil {
+		return decodeErrInto(sc, err)
 	}
-	if strings.TrimSpace(req.Phrase) == "" {
-		writeError(w, http.StatusBadRequest, "empty_phrase", `"phrase" must be a non-empty ingredient phrase`)
-		return
+	phraseBytes, err := sc.decodeEstimate()
+	if err != nil {
+		return decodeErrInto(sc, err)
 	}
-	if err := r.Context().Err(); err != nil {
-		writeTimeout(w, err)
-		return
+	phrase := strings.TrimSpace(byteView(phraseBytes))
+	if phrase == "" {
+		return errInto(sc, http.StatusBadRequest, "empty_phrase",
+			`"phrase" must be a non-empty ingredient phrase`)
 	}
-	writeJSON(w, toEstimateResponse(s.est.EstimateIngredient(req.Phrase)))
+	if err := ctx.Err(); err != nil {
+		return timeoutInto(sc, err)
+	}
+	resp := toEstimateResponse(s.est.EstimateIngredientScratch(phrase, &sc.pipe))
+	sc.out = appendEstimateResponse(sc.out, &resp)
+	sc.out = append(sc.out, '\n')
+	return http.StatusOK, sc.out
 }
 
 // RecipeRequest is the POST /v1/recipe body.
@@ -143,63 +152,81 @@ type RecipeResponse struct {
 }
 
 func (s *Server) handleRecipe(w http.ResponseWriter, r *http.Request) {
-	var req RecipeRequest
-	if !decodeJSON(w, r, &req) {
-		return
+	sc := getServeScratch()
+	status, body := s.recipeHot(sc, r.Context(), r.Body)
+	writeRendered(w, status, body)
+	putServeScratch(sc)
+}
+
+// recipeHot mirrors estimateHot for /v1/recipe. The recipe path is not
+// allocation-free (core materializes per-ingredient results), but the
+// codec work — decode, validation, encode — all runs in scratch memory.
+func (s *Server) recipeHot(sc *serveScratch, ctx context.Context, body io.Reader) (int, []byte) {
+	sc.out = sc.out[:0]
+	if err := sc.readBody(body); err != nil {
+		return decodeErrInto(sc, err)
 	}
-	if len(req.Ingredients) == 0 {
-		writeError(w, http.StatusBadRequest, "no_ingredients", `"ingredients" must list at least one phrase`)
-		return
+	req, err := sc.decodeRecipe()
+	if err != nil {
+		return decodeErrInto(sc, err)
 	}
-	if req.Servings == 0 {
-		req.Servings = 1
+	if len(req.ingredients) == 0 {
+		return errInto(sc, http.StatusBadRequest, "no_ingredients",
+			`"ingredients" must list at least one phrase`)
 	}
-	if req.Servings < 0 {
-		writeError(w, http.StatusBadRequest, "bad_servings", fmt.Sprintf("servings must be positive, got %d", req.Servings))
-		return
+	if req.servings == 0 {
+		req.servings = 1
+	}
+	if req.servings < 0 {
+		return errInto(sc, http.StatusBadRequest, "bad_servings",
+			fmt.Sprintf("servings must be positive, got %d", req.servings))
 	}
 	method := yield.None
-	if name := strings.ToLower(strings.TrimSpace(req.Method)); name != "" {
+	if name := strings.ToLower(strings.TrimSpace(req.method)); name != "" {
 		method = yield.ParseMethod(name)
 		if method == yield.None && name != yield.None.String() {
-			writeError(w, http.StatusBadRequest, "bad_method", fmt.Sprintf("unknown cooking method %q", req.Method))
-			return
+			return errInto(sc, http.StatusBadRequest, "bad_method",
+				fmt.Sprintf("unknown cooking method %q", req.method))
 		}
 	}
 
-	res, err := s.est.EstimateRecipeCookedContext(r.Context(), req.Ingredients, req.Servings, method, s.cfg.Workers)
+	res, err := s.est.EstimateRecipeCookedContext(ctx, req.ingredients, req.servings, method, s.cfg.Workers)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeTimeout(w, err)
-			return
+			return timeoutInto(sc, err)
 		}
-		writeError(w, http.StatusBadRequest, "bad_recipe", err.Error())
-		return
+		return errInto(sc, http.StatusBadRequest, "bad_recipe", err.Error())
 	}
 
-	out := RecipeResponse{
+	head := RecipeResponse{
 		Servings:       res.Servings,
 		Method:         method.String(),
 		MappedFraction: res.MappedFraction,
 		Total:          res.Total,
 		PerServing:     res.PerServing,
-		Ingredients:    make([]EstimateResponse, len(res.Ingredients)),
 	}
-	for i, ing := range res.Ingredients {
-		out.Ingredients[i] = toEstimateResponse(ing)
+	sc.out = appendRecipeResponseHeader(sc.out, &head)
+	for i := range res.Ingredients {
+		if i > 0 {
+			sc.out = append(sc.out, ',')
+		}
+		resp := toEstimateResponse(res.Ingredients[i])
+		sc.out = appendEstimateResponse(sc.out, &resp)
 	}
-	writeJSON(w, out)
+	sc.out = appendRecipeResponseFooter(sc.out)
+	return http.StatusOK, sc.out
 }
 
-// writeTimeout maps a context error to the wire: 504 for an expired
+// timeoutInto maps a context error to the wire: 504 for an expired
 // deadline (the request exceeded RequestTimeout), 499-style 503 when
 // the client went away or the server is draining.
-func writeTimeout(w http.ResponseWriter, err error) {
+func timeoutInto(sc *serveScratch, err error) (int, []byte) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout, "timeout", "request exceeded the per-request deadline")
-		return
+		return errInto(sc, http.StatusGatewayTimeout, "timeout",
+			"request exceeded the per-request deadline")
 	}
-	writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled before completion")
+	return errInto(sc, http.StatusServiceUnavailable, "canceled",
+		"request canceled before completion")
 }
 
 // HealthzResponse is the GET /v1/healthz body.
@@ -209,16 +236,23 @@ type HealthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, HealthzResponse{Status: "ok", Foods: s.est.DB().Len()})
+	buf := jsonx.GetBuffer()
+	resp := HealthzResponse{Status: "ok", Foods: s.est.DB().Len()}
+	buf.B = appendHealthzResponse(buf.B, &resp)
+	writeRendered(w, http.StatusOK, buf.B)
+	jsonx.PutBuffer(buf)
 }
 
 // StatsResponse is the GET /v1/stats body: the full observability
-// surface of one serving process.
+// surface of one serving process. Stats is off the hot path and keeps
+// encoding/json — its shape churns with every new counter, and pinning
+// a hand encoder to it would buy nothing.
 type StatsResponse struct {
 	Memo struct {
 		Phrase memo.Stats `json:"phrase"`
 		Match  memo.Stats `json:"match"`
 	} `json:"memo"`
+	Flight  flight.Stats         `json:"flight"`
 	Matcher match.MatcherStats   `json:"matcher"`
 	HTTP    metrics.Snapshot     `json:"http"`
 	Runtime metrics.RuntimeStats `json:"runtime"`
@@ -227,8 +261,10 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var out StatsResponse
 	out.Memo.Phrase, out.Memo.Match = s.est.CacheStats()
+	out.Flight = s.est.FlightStats()
 	out.Matcher = s.est.MatcherStats()
 	out.HTTP = s.reg.Snapshot()
-	out.Runtime = metrics.ReadRuntime()
-	writeJSON(w, out)
+	out.Runtime = s.runtime.Sample()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }

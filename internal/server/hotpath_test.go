@@ -1,0 +1,39 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+)
+
+// TestServeEstimateHotZeroAllocs enforces the PR's acceptance
+// criterion: the steady-state /v1/estimate path — read body, pooled
+// decode, cached estimate, pooled encode — performs zero heap
+// allocations once the scratch and the phrase cache are warm. The
+// net/http transport (Header().Set, WriteHeader, the connection
+// buffers) is excluded by construction: estimateHot is exactly the
+// per-request work between those layers.
+func TestServeEstimateHotZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	s := newTestServer(t, nil)
+	body := []byte(`{"phrase":"2 cups all-purpose flour"}`)
+	rd := bytes.NewReader(body)
+	sc := getServeScratch()
+	defer putServeScratch(sc)
+	ctx := context.Background()
+
+	run := func() {
+		rd.Reset(body)
+		status, out := s.estimateHot(sc, ctx, rd)
+		if status != http.StatusOK || len(out) == 0 {
+			t.Fatalf("estimateHot: status %d, %d body bytes", status, len(out))
+		}
+	}
+	run() // warm the scratch buffers, pipeline memos, and phrase cache
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Errorf("warm estimate hot path allocates: %v allocs/run, want 0", allocs)
+	}
+}

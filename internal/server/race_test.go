@@ -1,0 +1,10 @@
+//go:build race
+
+package server
+
+// The race detector instruments every memory access and allocates for
+// its own bookkeeping, so testing.AllocsPerRun over-counts under -race.
+// TestServeEstimateHotZeroAllocs skips itself when this flag is set;
+// the zero-allocation contract is still enforced by the normal test run
+// and the nightly allocs/op gate.
+const raceEnabled = true

@@ -94,6 +94,9 @@ type Server struct {
 	// full pipeline residence. Acquisition never blocks — a full
 	// semaphore sheds the request.
 	sem chan struct{}
+	// runtime caches the stop-the-world MemStats read behind a 1 s TTL
+	// so scraping /v1/stats hard cannot become a GC-pause generator.
+	runtime *metrics.RuntimeSampler
 
 	// testHookAdmitted, when set, runs after a request is admitted and
 	// before the pipeline runs — test seam for holding slots open to
@@ -107,10 +110,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return &Server{
-		cfg: cfg,
-		est: cfg.Estimator,
-		reg: cfg.Registry,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		est:     cfg.Estimator,
+		reg:     cfg.Registry,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		runtime: metrics.NewRuntimeSampler(time.Second),
 	}, nil
 }
 
