@@ -37,12 +37,13 @@ bench:
 # Measure the perf-gated benchmarks (matching, batch estimation, the
 # pooled NLP front-end, and the serving hot path) and emit the
 # BENCH_match.json artifact the nightly workflow archives. The parallel
-# batch benchmark also runs at -cpu 1,4 so the artifact records how the
-# worker pool scales with cores; benchfmt keys entries by (name, procs).
+# batch benchmarks also run at -cpu 1,4,8 so the artifact records the
+# multi-core scaling curve; benchfmt keys entries by (name, procs) and
+# derives each series' parallel efficiency ns1/(N·nsN) into the report.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch/^(sequential|cached_warm|parallel_cached_warm)$$|BenchmarkTagPhrase|BenchmarkPipelineScratch|BenchmarkServeEstimate|BenchmarkServeRecipe' \
+	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch/^(sequential|cached_warm)$$|BenchmarkTagPhrase|BenchmarkPipelineScratch|BenchmarkServeEstimate|BenchmarkServeRecipe' \
 		-benchmem -benchtime=1s ./internal/match/ ./internal/server/ . | tee bench_match.txt
-	$(GO) test -run xxx -bench 'BenchmarkEstimateBatch/^parallel$$' -cpu 1,4 \
+	$(GO) test -run xxx -bench 'BenchmarkEstimateBatch/^(parallel|parallel_cached_warm)$$' -cpu 1,4,8 \
 		-benchmem -benchtime=1s . | tee -a bench_match.txt
 	$(GO) run ./cmd/benchjson -in bench_match.txt -o BENCH_match.json
 	@rm -f bench_match.txt

@@ -125,14 +125,19 @@ func Filter(entries []Entry, substrings ...string) []Entry {
 	return out
 }
 
-// Report is the JSON artifact schema for BENCH_*.json.
+// Report is the JSON artifact schema for BENCH_*.json. Entries that
+// were run at several -cpu values additionally surface their derived
+// parallel-efficiency curve (see ParallelEfficiency), so the scaling
+// shape is readable straight off the artifact.
 type Report struct {
-	Benchmarks []Entry `json:"benchmarks"`
+	Benchmarks []Entry      `json:"benchmarks"`
+	Efficiency []Efficiency `json:"parallel_efficiency,omitempty"`
 }
 
 // WriteJSON emits the entries as an indented JSON report, sorted by
 // (name, procs) so successive artifacts diff cleanly — the same
-// benchmark run at -cpu 1,4 yields two stably-ordered entries.
+// benchmark run at -cpu 1,4,8 yields stably-ordered entries plus its
+// efficiency curve.
 func WriteJSON(w io.Writer, entries []Entry) error {
 	sorted := append([]Entry(nil), entries...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -143,7 +148,7 @@ func WriteJSON(w io.Writer, entries []Entry) error {
 	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Report{Benchmarks: sorted})
+	return enc.Encode(Report{Benchmarks: sorted, Efficiency: ParallelEfficiency(sorted)})
 }
 
 // Regression is one gate violation.

@@ -1,0 +1,99 @@
+package benchfmt
+
+// Parallel-efficiency derivation and gate. A benchmark run at -cpu
+// 1,4,8 yields one series per proc count; the derived metric
+//
+//	eff(N) = throughput(N) / (N × throughput(1)) = ns1 / (N × nsN)
+//
+// is 1.0 for perfect linear scaling, and *independent of the absolute
+// speed of the runner* — which is what makes it gateable in CI: raw
+// ns/op of an oversubscribed -cpu 8 run on a 2-core runner is noise,
+// but the old-vs-new efficiency ratio on the same runner is not. The
+// nightly workflow fails when a series' efficiency drops more than 10%
+// relative to the previous commit (a contention regression: someone
+// re-introduced a shared hot cache line or lock).
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Efficiency is the derived parallel efficiency of one multi-proc
+// benchmark series relative to its own 1-proc baseline.
+type Efficiency struct {
+	Name  string  `json:"name"`
+	Procs int     `json:"procs"`
+	Value float64 `json:"efficiency"` // 1.0 = perfect linear scaling
+}
+
+// effKey reuses the Gate identity: a series is (name, procs).
+type effKey = gateKey
+
+// lastByKey collapses entries to the last one per (name, procs) — the
+// same last-entry-wins rule Gate applies via its map build.
+func lastByKey(entries []Entry) map[effKey]Entry {
+	m := make(map[effKey]Entry, len(entries))
+	for _, e := range entries {
+		m[effKey{e.Name, e.Procs}] = e
+	}
+	return m
+}
+
+// ParallelEfficiency derives eff(N) for every series with a 1-proc
+// baseline and at least one N>1 measurement in the same entry set.
+// Series without a 1-proc baseline, and entries with non-positive
+// ns/op, are skipped. Output is sorted by (name, procs) so artifacts
+// diff cleanly.
+func ParallelEfficiency(entries []Entry) []Efficiency {
+	byKey := lastByKey(entries)
+	var out []Efficiency
+	for k, e := range byKey {
+		if k.procs <= 1 || e.NsPerOp <= 0 {
+			continue
+		}
+		base, ok := byKey[effKey{k.name, 1}]
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Efficiency{
+			Name:  k.name,
+			Procs: k.procs,
+			Value: base.NsPerOp / (float64(k.procs) * e.NsPerOp),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Procs < out[j].Procs
+	})
+	return out
+}
+
+// GateEfficiency compares the parallel efficiency of new against old
+// (matched by name and procs) and returns a violation for every series
+// whose efficiency dropped by more than maxDrop (e.g. 0.10 = a series
+// at 0.80 may not fall below 0.72). Series present on only one side —
+// including series that lost their 1-proc baseline — are ignored, like
+// Gate's treatment of added/removed benchmarks.
+func GateEfficiency(old, new []Entry, maxDrop float64) []Regression {
+	base := make(map[effKey]float64)
+	for _, eff := range ParallelEfficiency(old) {
+		base[effKey{eff.Name, eff.Procs}] = eff.Value
+	}
+	var regs []Regression
+	for _, eff := range ParallelEfficiency(new) {
+		o, ok := base[effKey{eff.Name, eff.Procs}]
+		if !ok || o <= 0 {
+			continue
+		}
+		if eff.Value < o*(1-maxDrop) {
+			regs = append(regs, Regression{
+				Name: fmt.Sprintf("%s-%d", eff.Name, eff.Procs),
+				Reason: fmt.Sprintf("parallel efficiency %.3f → %.3f (%.1f%% drop, limit %.0f%%)",
+					o, eff.Value, 100*(1-eff.Value/o), 100*maxDrop),
+			})
+		}
+	}
+	return regs
+}

@@ -4,6 +4,24 @@ package core
 // bounded worker pool; output is always input-ordered and byte-identical
 // to the sequential path, so callers can parallelize corpus-scale runs
 // without giving up determinism.
+//
+// Two dispatch strategies exist (see shard.go for the why):
+//
+//   - Sharded (the default for parallel cached batches): phrases are
+//     hash-partitioned onto slots, workers own disjoint slot subsets,
+//     and repeats are served from per-slot L1 caches with no shared
+//     writes on the hot path.
+//
+//   - Work-stealing (sequential batches, uncached estimators, and the
+//     DisableSharding ablation): indices are handed out by an atomic
+//     counter, which balances skewed per-item costs but funnels every
+//     repeat through the shared L2.
+//
+// Both strategies run on estimator-owned worker environments (scratch +
+// pinned match session) rather than sync.Pool scratches: pool per-P
+// caches drain under GC and goroutine migration, and every drained
+// checkout re-warms a cold scratch — the measured allocs/op inflation
+// of the oversubscribed parallel path.
 
 import (
 	"context"
@@ -15,7 +33,6 @@ import (
 
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
-	"nutriprofile/internal/pipeline"
 	"nutriprofile/internal/yield"
 )
 
@@ -34,13 +51,12 @@ func normWorkers(workers, items int) int {
 	return workers
 }
 
-// forEachIndex runs fn(i, sc) for i in [0, n) on a bounded worker pool.
+// forEachIndex runs fn(i, w) for i in [0, n) on a bounded worker pool.
 // Indices are handed out by an atomic counter, so the pool stays busy
 // even when per-item cost is skewed (cache hits vs full matches). Each
-// worker checks one pipeline.Scratch out of the pool and reuses it for
-// every index it claims, so per-phrase NLP state is allocated (at most)
-// once per worker rather than once per phrase.
-func (e *Estimator) forEachIndex(n, workers int, fn func(int, *pipeline.Scratch)) {
+// worker checks one environment out of the estimator's free list and
+// reuses it for every index it claims, flushing its stats once on exit.
+func (e *Estimator) forEachIndex(n, workers int, fn func(int, *worker)) {
 	e.forEachIndexCtx(context.Background(), n, workers, fn)
 }
 
@@ -49,30 +65,30 @@ func (e *Estimator) forEachIndex(n, workers int, fn func(int, *pipeline.Scratch)
 // Items already in flight run to completion (per-item work is
 // microseconds; there is no partial-item state to unwind), so the
 // cancellation latency is one item per worker.
-func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func(int, *pipeline.Scratch)) error {
+func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func(int, *worker)) error {
 	workers = normWorkers(workers, n)
 	done := ctx.Done()
 	if workers == 1 {
-		sc := pipeline.Get()
-		defer pipeline.Put(sc)
+		w := worker{env: e.getEnv()}
+		defer e.flushWorker(&w, 0)
 		for i := 0; i < n; i++ {
 			select {
 			case <-done:
 				return ctx.Err()
 			default:
 			}
-			fn(i, sc)
+			fn(i, &w)
 		}
 		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
 			defer wg.Done()
-			sc := pipeline.Get()
-			defer pipeline.Put(sc)
+			w := worker{env: e.getEnv()}
+			defer e.flushWorker(&w, wk%statStripes)
 			for {
 				select {
 				case <-done:
@@ -83,12 +99,32 @@ func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func
 				if i >= n {
 					return
 				}
-				fn(i, sc)
+				fn(i, &w)
 			}
-		}()
+		}(wk)
 	}
 	wg.Wait()
 	return ctx.Err()
+}
+
+// batchInto estimates every phrase into out[i]. Parallel batches on a
+// caching estimator take the sharded path (phrase-hash partition,
+// per-slot L1s, zero shared writes on repeats); everything else runs on
+// the work-stealing pool. Results are identical either way.
+func (e *Estimator) batchInto(ctx context.Context, phrases []string, workers int, out []IngredientResult) error {
+	workers = normWorkers(workers, len(phrases))
+	if workers > 1 && e.phraseCache != nil && !e.opts.DisableSharding {
+		if workers > numSlots {
+			workers = numSlots
+		}
+		return e.estimateShardedCtx(ctx, phrases, workers, out)
+	}
+	return e.forEachIndexCtx(ctx, len(phrases), workers, func(i int, w *worker) {
+		// nil slot: no L1 on the work-stealing path (indices are claimed
+		// dynamically, so no worker owns a stable phrase subset), but the
+		// per-worker phrase counting still applies.
+		out[i] = e.estimateSlot(phrases[i], w, nil)
+	})
 }
 
 // EstimateBatch estimates every phrase concurrently with one worker per
@@ -107,9 +143,7 @@ func (e *Estimator) EstimateBatchWorkers(phrases []string, workers int) []Ingred
 		return nil
 	}
 	out := make([]IngredientResult, len(phrases))
-	e.forEachIndex(len(phrases), workers, func(i int, sc *pipeline.Scratch) {
-		out[i] = e.estimateCached(phrases[i], sc)
-	})
+	e.batchInto(context.Background(), phrases, workers, out)
 	return out
 }
 
@@ -125,9 +159,7 @@ func (e *Estimator) EstimateBatchContext(ctx context.Context, phrases []string, 
 		return nil, nil
 	}
 	out := make([]IngredientResult, len(phrases))
-	if err := e.forEachIndexCtx(ctx, len(phrases), workers, func(i int, sc *pipeline.Scratch) {
-		out[i] = e.estimateCached(phrases[i], sc)
-	}); err != nil {
+	if err := e.batchInto(ctx, phrases, workers, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -181,6 +213,28 @@ type RecipeOutcome struct {
 	Err    error
 }
 
+// estimateRecipeWorker runs one recipe sequentially on an already-held
+// worker environment: EstimateRecipes parallelizes across recipes, so
+// nesting another pool per recipe would only multiply goroutines. Slot
+// L1s are skipped (nil slot) — recipe workers don't own slots; repeats
+// still hit the shared L2.
+func (e *Estimator) estimateRecipeWorker(r RecipeInput, w *worker) RecipeOutcome {
+	if len(r.Phrases) == 0 {
+		return RecipeOutcome{Err: errors.New("core: recipe has no ingredients")}
+	}
+	if r.Servings <= 0 {
+		return RecipeOutcome{Err: fmt.Errorf("core: invalid servings %d", r.Servings)}
+	}
+	ingredients := make([]IngredientResult, len(r.Phrases))
+	for i, p := range r.Phrases {
+		ingredients[i] = e.estimateSlot(p, w, nil)
+	}
+	res := aggregateRecipe(ingredients, r.Servings)
+	res.Total = yield.Apply(res.Total, r.Method)
+	res.PerServing = yield.Apply(res.PerServing, r.Method)
+	return RecipeOutcome{Result: res}
+}
+
 // EstimateRecipes estimates a corpus of recipes on a bounded worker
 // pool sharing this Estimator. Outcomes are input-ordered and
 // byte-identical to calling EstimateRecipeCooked sequentially; workers
@@ -190,10 +244,8 @@ func (e *Estimator) EstimateRecipes(recipes []RecipeInput, workers int) []Recipe
 		return nil
 	}
 	out := make([]RecipeOutcome, len(recipes))
-	e.forEachIndex(len(recipes), workers, func(i int, _ *pipeline.Scratch) {
-		// The recipe's own ingredient batch acquires per-worker scratches.
-		r := recipes[i]
-		out[i].Result, out[i].Err = e.EstimateRecipeCooked(r.Phrases, r.Servings, r.Method)
+	e.forEachIndex(len(recipes), workers, func(i int, w *worker) {
+		out[i] = e.estimateRecipeWorker(recipes[i], w)
 	})
 	return out
 }

@@ -112,6 +112,12 @@ type Options struct {
 	// hatch. Meaningless when CacheSize == 0 — with no cache to land
 	// results in, deduplicating the computation would not be observable.
 	DisableCoalescing bool
+	// DisableSharding turns off the phrase-hash-partitioned batch
+	// dispatch (see shard.go): parallel batches fall back to the
+	// work-stealing pool with the shared L2 cache only. Results are
+	// identical either way; the switch exists for the scaling ablation
+	// benchmarks.
+	DisableSharding bool
 	// Ablation switches.
 	DisableConversion   bool
 	DisablePhraseSearch bool
@@ -154,6 +160,11 @@ type Estimator struct {
 	// normalized token stream: one pipeline pass runs, every waiter
 	// shares its result. Sits below the cache — see estimateCached.
 	flights flight.Group[IngredientResult]
+
+	// shardState is the per-core sharded batch machinery: worker
+	// environments, the phrase-hash slot partition with per-slot L1
+	// caches, and the striped batched-flush stat aggregates (shard.go).
+	shardState
 }
 
 // matchHit is the memoized outcome of one description-match query.
@@ -183,6 +194,7 @@ func New(db *usda.DB, tagger ner.Tagger, opts Options) (*Estimator, error) {
 		e.phraseCache = memo.New[IngredientResult](opts.CacheSize)
 		e.matchCache = memo.New[matchHit](opts.CacheSize)
 	}
+	e.shardState.init()
 	return e, nil
 }
 
@@ -239,28 +251,34 @@ type RecipeResult struct {
 func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 	sc := pipeline.Get()
 	defer pipeline.Put(sc)
-	return e.estimateCached(phrase, sc)
+	return e.estimateCached(phrase, sc, nil)
 }
 
 // estimateCached is EstimateIngredient on a caller-owned scratch: the
 // batch workers hold one scratch for their whole shard instead of
 // cycling the pool per phrase. The cache key is the normalized token
 // stream (rendered in the scratch, probed without allocating), the exact
-// input every downstream stage consumes.
-func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch) IngredientResult {
+// input every downstream stage consumes. Its FNV-1a hash is computed
+// once and reused for the cache shard, the flight shard, and the store
+// — one pass over the key bytes instead of three.
+//
+// sess, when non-nil, is the worker's pinned match session; nil callers
+// match through the shared pool-backed matcher entry points.
+func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
 	if e.phraseCache == nil {
-		return e.estimateIngredient(phrase, sc)
+		return e.estimateIngredient(phrase, sc, sess)
 	}
 	sc.Tokenize(phrase)
 	key := sc.PhraseKey()
-	if r, ok := e.phraseCache.GetBytes(key); ok {
+	h := memo.Hash(key)
+	if r, ok := e.phraseCache.GetBytesHash(h, key); ok {
 		// The cached computation is keyed on the token stream; only the
 		// verbatim Phrase field can differ.
 		r.Phrase = phrase
 		return r
 	}
 	if e.opts.DisableCoalescing {
-		r := e.estimateTokenized(phrase, sc)
+		r := e.estimateTokenized(phrase, sc, sess)
 		// key still aliases the scratch (nothing downstream of Tokenize
 		// touches the phrase-key buffer); materialize it only on this
 		// miss path. Scrub the verbatim phrase from the stored copy: the
@@ -268,7 +286,7 @@ func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch) Ingredie
 		// pass phrases whose backing bytes it reuses after the call.
 		stored := r
 		stored.Phrase = ""
-		e.phraseCache.Put(string(key), stored)
+		e.phraseCache.PutHash(h, string(key), stored)
 		return r
 	}
 	// Coalesce concurrent misses on the same token stream: under load,
@@ -277,10 +295,10 @@ func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch) Ingredie
 	// a result lands. The leader computes, stores, and shares; waiters
 	// block on its flight instead of redoing the pass. The shared value
 	// carries no Phrase for the same reason the stored one doesn't.
-	r, _ := e.flights.Do(key, func() IngredientResult {
-		r := e.estimateTokenized(phrase, sc)
+	r, _ := e.flights.DoHash(h, key, func() IngredientResult {
+		r := e.estimateTokenized(phrase, sc, sess)
 		r.Phrase = ""
-		e.phraseCache.Put(string(key), r)
+		e.phraseCache.PutHash(h, string(key), r)
 		return r
 	})
 	r.Phrase = phrase
@@ -299,26 +317,36 @@ func (e *Estimator) FlightStats() flight.Stats { return e.flights.Stats() }
 // results retain it past the call. The same read-only contract as
 // EstimateIngredient applies to the returned result.
 func (e *Estimator) EstimateIngredientScratch(phrase string, sc *pipeline.Scratch) IngredientResult {
-	return e.estimateCached(phrase, sc)
+	return e.estimateCached(phrase, sc, nil)
 }
 
 // matchQuery runs the configured description match, memoized when the
 // match cache is enabled. Matching reads only the immutable Matcher, so
-// entries never need invalidation.
-func (e *Estimator) matchQuery(q match.Query, sc *pipeline.Scratch) (match.Result, bool) {
+// entries never need invalidation. The key hash is computed once and
+// shared by the shard probe and the store.
+func (e *Estimator) matchQuery(q match.Query, sc *pipeline.Scratch, sess *match.Session) (match.Result, bool) {
 	if e.matchCache == nil {
-		return e.rawMatch(q)
+		return e.rawMatch(q, sess)
 	}
 	key := sc.JoinKey(q.Name, q.State, q.Temp, q.DryFresh)
-	if h, ok := e.matchCache.GetBytes(key); ok {
+	kh := memo.Hash(key)
+	if h, ok := e.matchCache.GetBytesHash(kh, key); ok {
 		return h.res, h.ok
 	}
-	res, ok := e.rawMatch(q)
-	e.matchCache.Put(string(key), matchHit{res: res, ok: ok})
+	res, ok := e.rawMatch(q, sess)
+	e.matchCache.PutHash(kh, string(key), matchHit{res: res, ok: ok})
 	return res, ok
 }
 
-func (e *Estimator) rawMatch(q match.Query) (match.Result, bool) {
+// rawMatch dispatches to the worker's pinned session when one is given,
+// otherwise to the shared pool-backed matcher entry points.
+func (e *Estimator) rawMatch(q match.Query, sess *match.Session) (match.Result, bool) {
+	if sess != nil {
+		if e.opts.FuzzyMatch {
+			return sess.MatchFuzzy(q)
+		}
+		return sess.Match(q)
+	}
 	if e.opts.FuzzyMatch {
 		return e.matcher.MatchFuzzy(q)
 	}
@@ -326,14 +354,14 @@ func (e *Estimator) rawMatch(q match.Query) (match.Result, bool) {
 }
 
 // estimateIngredient is the uncached pipeline.
-func (e *Estimator) estimateIngredient(phrase string, sc *pipeline.Scratch) IngredientResult {
+func (e *Estimator) estimateIngredient(phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
 	sc.Tokenize(phrase)
-	return e.estimateTokenized(phrase, sc)
+	return e.estimateTokenized(phrase, sc, sess)
 }
 
 // estimateTokenized runs the pipeline over the phrase already tokenized
 // into sc (by estimateCached or estimateIngredient).
-func (e *Estimator) estimateTokenized(phrase string, sc *pipeline.Scratch) IngredientResult {
+func (e *Estimator) estimateTokenized(phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
 	res := IngredientResult{Phrase: phrase}
 	res.Extraction = sc.Extract(e.tagger)
 	if res.Extraction.Name == "" {
@@ -346,7 +374,7 @@ func (e *Estimator) estimateTokenized(phrase string, sc *pipeline.Scratch) Ingre
 		Temp:     res.Extraction.Temp,
 		DryFresh: res.Extraction.DryFresh,
 	}
-	m, ok := e.matchQuery(q, sc)
+	m, ok := e.matchQuery(q, sc, sess)
 	if !ok {
 		return res
 	}
@@ -565,11 +593,11 @@ func (e *Estimator) ObserveUnits(phrases []string) {
 		unit string
 	}
 	observations := make([]obs, len(phrases))
-	e.forEachIndex(len(phrases), 0, func(i int, sc *pipeline.Scratch) {
+	e.forEachIndex(len(phrases), 0, func(i int, w *worker) {
 		// Bypass the phrase cache: a cached most-frequent-unit result
 		// never contributes, and observation must not pollute the cache
 		// with entries that this very pass is about to invalidate.
-		r := e.estimateIngredient(phrases[i], sc)
+		r := e.estimateIngredient(phrases[i], w.env.sc, w.env.sess)
 		if !r.Matched || r.Unit == "" {
 			return
 		}
@@ -595,6 +623,10 @@ func (e *Estimator) ObserveUnits(phrases []string) {
 
 	if e.phraseCache != nil {
 		e.phraseCache.Purge()
+		// The slot L1s (shard.go) cache the same invalidated results;
+		// bumping the epoch makes every subsequent claimSlot clear its
+		// slot before serving from it.
+		e.epoch.Add(1)
 	}
 }
 

@@ -36,7 +36,7 @@ func refEstimateIngredient(e *Estimator, phrase string) IngredientResult {
 		Temp:     res.Extraction.Temp,
 		DryFresh: res.Extraction.DryFresh,
 	}
-	m, ok := e.rawMatch(q)
+	m, ok := e.rawMatch(q, nil)
 	if !ok {
 		return res
 	}

@@ -1,0 +1,295 @@
+package core
+
+// The per-core sharded estimator (DESIGN.md §12). Four perf PRs made
+// the single-core pipeline ~0-alloc, yet parallel batch throughput did
+// not scale: every worker wrote the same memo-stat cache lines, every
+// cache miss serialized on one singleflight map, and the sync.Pool
+// backing the scratch arenas drained under oversubscription so workers
+// kept re-warming cold scratches (the measured allocs/op inflation at
+// -cpu 4). This file restructures the batch layer around ownership:
+//
+//   - Worker environments (scratch + pinned match session) are owned by
+//     the Estimator in a bounded LIFO free list, not by a sync.Pool, so
+//     neither GC cycles nor goroutine migration can drain them; the
+//     warmest environment is always reused first.
+//
+//   - The phrase space is hash-partitioned onto numSlots shards, each
+//     with its own lock-free-on-the-hot-path L1 result cache. In a
+//     sharded batch, worker w exclusively owns the slots s ≡ w (mod
+//     workers) — the same phrase always hashes to the same slot, so no
+//     two workers ever touch one slot's L1, and repeat phrases are
+//     served without a single shared-memory write.
+//
+//   - Per-worker stats accumulate in plain locals and flush to a
+//     cache-line-striped aggregate once per batch (metrics.Striped),
+//     instead of per-phrase atomics on shared counters.
+//
+// The shared L2 (memo.Cache) and the flight layer sit below the slots
+// and are themselves sharded by the same FNV-1a hash family; they only
+// see first-contact traffic, so their (padded, per-shard) locks stay
+// uncontended.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/memo"
+	"nutriprofile/internal/metrics"
+	"nutriprofile/internal/pipeline"
+)
+
+const (
+	// numSlots is the shard count of the phrase-hash partition (a power
+	// of two). Fixed rather than derived from GOMAXPROCS so the
+	// phrase→shard mapping is stable for the Estimator's lifetime no
+	// matter how many workers any particular batch runs: workers own
+	// slot subsets, slots never migrate between hashes. 32 comfortably
+	// exceeds any sane worker count for phrase-scale work while keeping
+	// the slot array small.
+	numSlots = 32
+
+	// maxL1Entries bounds each slot's L1 map. Recipe vocabulary is a
+	// few thousand distinct phrases spread over 32 slots, so wholesale
+	// clearing only triggers on adversarial input — mirroring the
+	// pipeline scratch memo policy.
+	maxL1Entries = 4096
+
+	// maxFreeEnvs bounds the worker-environment free list: more
+	// environments than this can exist transiently (concurrent batches
+	// each holding several), but only this many are retained.
+	maxFreeEnvs = 64
+
+	// statStripes is the stripe count of the batched stats aggregates.
+	statStripes = 16
+)
+
+// slot is one shard of the phrase-hash partition: an epoch-gated L1
+// cache of full IngredientResults keyed by raw phrase. A slot is locked
+// for the whole duration of a sharded batch by the one worker that owns
+// it, so the L1 map is read and written without any per-phrase
+// synchronization. Padded so neighboring slots' locks never share a
+// cache line.
+type slot struct {
+	mu    sync.Mutex
+	l1    map[string]IngredientResult
+	epoch uint64 // generation of e.epoch the l1 contents belong to
+	_     [64]byte
+}
+
+// env is one worker environment: the per-goroutine NLP scratch arena
+// plus a pinned match session (its own scoring arena). Environments are
+// checked out once per worker per batch and returned warm.
+type env struct {
+	sc   *pipeline.Scratch
+	sess *match.Session
+}
+
+// worker is the per-batch-worker state: its environment and the
+// batch-local stat accumulators that flush on release.
+type worker struct {
+	env     *env
+	phrases uint64 // phrases estimated by this worker this batch
+	l1Hits  uint64 // phrases served from an owned slot's L1
+}
+
+// shardState is the Estimator's sharded-batch machinery; embedded by
+// value (it is a few KB of padded slots).
+type shardState struct {
+	slots [numSlots]slot
+
+	// epoch generations the slot L1s are validated against; bumped
+	// whenever the phrase cache is purged (ObserveUnits).
+	epoch atomic.Uint64
+
+	envMu    sync.Mutex
+	freeEnvs []*env
+	envsMade uint64 // lifetime environments created, under envMu
+
+	// Batched-flush aggregates: workers accumulate locally and Add once
+	// per batch, striped so concurrent flushes don't share lines.
+	phrasesDone *metrics.Striped
+	l1Hits      *metrics.Striped
+	flushes     *metrics.Striped
+}
+
+func (s *shardState) init() {
+	s.phrasesDone = metrics.NewStriped(statStripes)
+	s.l1Hits = metrics.NewStriped(statStripes)
+	s.flushes = metrics.NewStriped(statStripes)
+}
+
+// ShardStats is the observability snapshot of the sharded batch layer
+// (nutriserve's GET /v1/stats exposes it alongside the cache counters).
+type ShardStats struct {
+	Slots         int    `json:"slots"`          // phrase-hash partition width
+	Phrases       uint64 `json:"phrases"`        // phrases estimated through batch workers
+	L1Hits        uint64 `json:"l1_hits"`        // served from an owned slot's L1
+	WorkerFlushes uint64 `json:"worker_flushes"` // per-worker batched stat flushes
+	Envs          uint64 `json:"envs"`           // worker environments ever created
+}
+
+// ShardStats reports the sharded batch layer's counters. Totals are
+// exact once in-flight batches drain (each worker flushes exactly once).
+func (e *Estimator) ShardStats() ShardStats {
+	e.envMu.Lock()
+	envs := e.envsMade
+	e.envMu.Unlock()
+	return ShardStats{
+		Slots:         numSlots,
+		Phrases:       e.phrasesDone.Sum(),
+		L1Hits:        e.l1Hits.Sum(),
+		WorkerFlushes: e.flushes.Sum(),
+		Envs:          envs,
+	}
+}
+
+// slotIndex maps a raw phrase to its owning shard — a pure function of
+// the phrase bytes (the same FNV-1a family the memo and flight layers
+// shard on), stable for the Estimator's lifetime.
+func slotIndex(phrase string) int {
+	return int(memo.HashString(phrase) & (numSlots - 1))
+}
+
+// getEnv checks a worker environment out of the estimator-owned free
+// list, creating one when the list is empty. LIFO: the most recently
+// returned (warmest) environment is reused first.
+func (e *Estimator) getEnv() *env {
+	e.envMu.Lock()
+	if n := len(e.freeEnvs); n > 0 {
+		v := e.freeEnvs[n-1]
+		e.freeEnvs[n-1] = nil
+		e.freeEnvs = e.freeEnvs[:n-1]
+		e.envMu.Unlock()
+		return v
+	}
+	e.envsMade++
+	e.envMu.Unlock()
+	return &env{sc: new(pipeline.Scratch), sess: e.matcher.NewSession()}
+}
+
+// putEnv returns an environment; beyond maxFreeEnvs it is dismantled
+// (the session's arena goes back to the matcher pool) and dropped.
+func (e *Estimator) putEnv(v *env) {
+	e.envMu.Lock()
+	if len(e.freeEnvs) < maxFreeEnvs {
+		e.freeEnvs = append(e.freeEnvs, v)
+		e.envMu.Unlock()
+		return
+	}
+	e.envMu.Unlock()
+	v.sess.Close()
+}
+
+// claimSlot tries to take exclusive ownership of slot i for a batch.
+// nil means another batch holds it — the caller proceeds without that
+// slot's L1 (the shared L2 below still absorbs repeats). On a claim,
+// the L1 is invalidated if the estimator's epoch moved (ObserveUnits
+// changed the unit statistics since the slot last ran).
+func (e *Estimator) claimSlot(i int) *slot {
+	sl := &e.slots[i]
+	if !sl.mu.TryLock() {
+		return nil
+	}
+	if cur := e.epoch.Load(); sl.epoch != cur {
+		if sl.l1 != nil {
+			clear(sl.l1)
+		}
+		sl.epoch = cur
+	}
+	return sl
+}
+
+// flushWorker performs the batched stats flush: one striped Add per
+// counter per worker per batch, then returns the environment.
+func (e *Estimator) flushWorker(w *worker, stripe int) {
+	if w.phrases != 0 {
+		e.phrasesDone.Add(stripe, w.phrases)
+	}
+	if w.l1Hits != 0 {
+		e.l1Hits.Add(stripe, w.l1Hits)
+	}
+	e.flushes.Add(stripe, 1)
+	e.putEnv(w.env)
+}
+
+// estimateSlot estimates one phrase on a worker, consulting (and
+// populating) the owned slot's L1 when sl is non-nil. The L1 holds
+// full, immutable results keyed by raw phrase; keys are cloned because
+// callers (the serving layer) may reuse the phrase's backing bytes, and
+// the stored value drops the verbatim Phrase for the same reason the L2
+// copy does.
+func (e *Estimator) estimateSlot(phrase string, w *worker, sl *slot) IngredientResult {
+	w.phrases++
+	if sl != nil {
+		if r, ok := sl.l1[phrase]; ok {
+			w.l1Hits++
+			r.Phrase = phrase
+			return r
+		}
+	}
+	r := e.estimateCached(phrase, w.env.sc, w.env.sess)
+	if sl != nil {
+		stored := r
+		stored.Phrase = ""
+		if sl.l1 == nil {
+			sl.l1 = make(map[string]IngredientResult, 64)
+		} else if len(sl.l1) >= maxL1Entries {
+			clear(sl.l1)
+		}
+		sl.l1[strings.Clone(phrase)] = stored
+	}
+	return r
+}
+
+// estimateShardedCtx is the phrase-hash-partitioned worker pool: worker
+// w of W owns slots {s : s ≡ w (mod W)} and estimates exactly the
+// phrases that hash into them. Dispatch is deterministic — no shared
+// claim counter — and every phrase's slot is decided by its bytes, so
+// repeats serialize onto their owner and hit its L1 without any
+// cross-worker traffic. Output is input-ordered (each worker writes
+// only its own indices of out).
+//
+// Load balance comes from the hash: with hundreds of phrases per batch
+// the per-worker share concentrates tightly, and repeat-heavy skew is
+// self-correcting (repeats are L1 hits, orders of magnitude cheaper
+// than first contact).
+func (e *Estimator) estimateShardedCtx(ctx context.Context, phrases []string, workers int, out []IngredientResult) error {
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			w := worker{env: e.getEnv()}
+			var claimed [numSlots]*slot
+			for s := wk; s < numSlots; s += workers {
+				claimed[s] = e.claimSlot(s)
+			}
+			defer func() {
+				for s := wk; s < numSlots; s += workers {
+					if claimed[s] != nil {
+						claimed[s].mu.Unlock()
+					}
+				}
+				e.flushWorker(&w, wk%statStripes)
+			}()
+			for i, p := range phrases {
+				s := slotIndex(p)
+				if s%workers != wk {
+					continue
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				out[i] = e.estimateSlot(p, &w, claimed[s])
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

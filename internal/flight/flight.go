@@ -11,6 +11,16 @@
 // misses, then joins or leads a flight, and only the leader stores the
 // result.
 //
+// The group is sharded by key hash (the same FNV-1a the memo layer
+// shards on, so a phrase's flight shard and cache shard derive from one
+// hash computation): each shard has its own mutex, map and counters on
+// their own cache lines. The previous design kept one global map, which
+// meant every leader's register/unregister and every duplicate's probe
+// serialized on a single mutex — under a multi-core worker pool the
+// coalescing layer itself became the contention point it existed to
+// remove. With 16 shards, two concurrent misses only touch the same
+// lock when their phrases hash together (DESIGN.md §12).
+//
 // Unlike golang.org/x/sync/singleflight, keys are []byte (the memo
 // layer's native key type) and the duplicate-caller probe does not
 // allocate: the map lookup compiles to a no-copy string view of the
@@ -18,18 +28,36 @@
 // function — materializes the key.
 package flight
 
-import "sync"
+import (
+	"sync"
+
+	"nutriprofile/internal/memo"
+)
+
+// numShards is the shard count (a power of two). 16 matches the memo
+// layer's default: enough that a worker pool of a few dozen goroutines
+// rarely collides, few enough that the zero-value Group stays small.
+const numShards = 16
 
 // Group coalesces concurrent calls by key. The zero value is ready to
 // use. V is the shared result type; all callers of a flight receive the
 // same value, so V should be a value type or treated as immutable.
 type Group[V any] struct {
+	shards [numShards]flightShard[V]
+}
+
+// flightShard is one independently locked partition of the key space.
+// Counters are plain fields updated under mu — no shared atomics on the
+// hot path; Stats aggregates across shards on read.
+type flightShard[V any] struct {
 	mu sync.Mutex
 	m  map[string]*call[V]
 
-	// Counters are cumulative over the Group's lifetime.
 	leads     uint64 // calls that executed fn
 	coalesced uint64 // calls that waited on another caller's fn
+
+	// Keep neighboring shards' mutexes off this shard's cache lines.
+	_ [64]byte
 }
 
 // call is one in-flight execution.
@@ -54,25 +82,35 @@ type Stats struct {
 // The key is only retained (copied) by a leader; duplicate callers
 // never allocate on the probe.
 func (g *Group[V]) Do(key []byte, fn func() V) (v V, shared bool) {
-	g.mu.Lock()
-	if c, ok := g.m[string(key)]; ok {
-		g.coalesced++
-		g.mu.Unlock()
+	return g.DoHash(memo.Hash(key), key, fn)
+}
+
+// DoHash is Do with the key's hash (memo.Hash(key)) precomputed, so a
+// caller that already hashed the key for its cache probe selects the
+// flight shard without a second pass over the key bytes. The hash must
+// be the FNV-1a of exactly the key bytes — two spellings of one key
+// must present one hash, or they would coalesce in different shards.
+func (g *Group[V]) DoHash(h uint64, key []byte, fn func() V) (v V, shared bool) {
+	s := &g.shards[h&(numShards-1)]
+	s.mu.Lock()
+	if c, ok := s.m[string(key)]; ok {
+		s.coalesced++
+		s.mu.Unlock()
 		c.wg.Wait()
 		if c.panicked != nil {
 			panic(c.panicked)
 		}
 		return c.val, true
 	}
-	if g.m == nil {
-		g.m = make(map[string]*call[V])
+	if s.m == nil {
+		s.m = make(map[string]*call[V])
 	}
 	c := &call[V]{}
 	c.wg.Add(1)
 	k := string(key) // leader pays the one copy; the map must own stable bytes
-	g.m[k] = c
-	g.leads++
-	g.mu.Unlock()
+	s.m[k] = c
+	s.leads++
+	s.mu.Unlock()
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -83,9 +121,9 @@ func (g *Group[V]) Do(key []byte, fn func() V) (v V, shared bool) {
 		// a fresh flight, which is correct — the result they would have
 		// shared is (about to be) in the cache above us.
 		c.wg.Done()
-		g.mu.Lock()
-		delete(g.m, k)
-		g.mu.Unlock()
+		s.mu.Lock()
+		delete(s.m, k)
+		s.mu.Unlock()
 		if c.panicked != nil {
 			panic(c.panicked)
 		}
@@ -95,9 +133,18 @@ func (g *Group[V]) Do(key []byte, fn func() V) (v V, shared bool) {
 	return c.val, false
 }
 
-// Stats returns a snapshot of the Group's counters.
+// Stats aggregates the per-shard counters. The snapshot is not atomic
+// across shards under concurrent load, which is fine for monitoring;
+// each per-shard counter is monotonic.
 func (g *Group[V]) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return Stats{Leads: g.leads, Coalesced: g.coalesced, InFlight: len(g.m)}
+	var st Stats
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		st.Leads += s.leads
+		st.Coalesced += s.coalesced
+		st.InFlight += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
 }

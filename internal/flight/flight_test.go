@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"nutriprofile/internal/memo"
 )
 
 func TestDoSequential(t *testing.T) {
@@ -180,10 +182,11 @@ func TestDuplicateProbeZeroAllocs(t *testing.T) {
 	}
 
 	key := []byte("occupied")
+	s := &g.shards[memo.Hash(key)&(numShards-1)]
 	allocs := testing.AllocsPerRun(100, func() {
-		g.mu.Lock()
-		_, ok := g.m[string(key)]
-		g.mu.Unlock()
+		s.mu.Lock()
+		_, ok := s.m[string(key)]
+		s.mu.Unlock()
 		if !ok {
 			t.Fatal("flight vanished")
 		}

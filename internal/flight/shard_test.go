@@ -1,0 +1,119 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nutriprofile/internal/memo"
+)
+
+// TestShardedExactlyOncePerKey: sharding the group must not weaken the
+// single-flight contract — under a 32-goroutine storm over many keys
+// spread across every shard, each key's function runs exactly once per
+// coalescing window, and the per-shard counters aggregate exactly.
+func TestShardedExactlyOncePerKey(t *testing.T) {
+	const (
+		goroutines = 32
+		keys       = 64
+	)
+	var g Group[int]
+	execs := make([]atomic.Int64, keys)
+	gate := make(chan struct{})
+
+	// Cover every shard: with 64 FNV-hashed keys over 16 shards, each
+	// shard owns several (verified below rather than assumed).
+	shardsHit := map[uint64]bool{}
+	keyBytes := make([][]byte, keys)
+	for i := range keyBytes {
+		keyBytes[i] = []byte(fmt.Sprintf("phrase-%d", i))
+		shardsHit[memo.Hash(keyBytes[i])&(numShards-1)] = true
+	}
+	if len(shardsHit) < numShards/2 {
+		t.Fatalf("key set covers only %d/%d shards; pick better keys", len(shardsHit), numShards)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			for i := 0; i < keys; i++ {
+				v, _ := g.Do(keyBytes[i], func() int {
+					execs[i].Add(1)
+					return i
+				})
+				if v != i {
+					t.Errorf("key %d: got %d", i, v)
+					return
+				}
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+
+	var totalExecs int64
+	for i := range execs {
+		n := execs[i].Load()
+		if n < 1 || n > goroutines {
+			t.Errorf("key %d executed %d times", i, n)
+		}
+		totalExecs += n
+	}
+	st := g.Stats()
+	if st.Leads != uint64(totalExecs) {
+		t.Errorf("leads = %d, executions = %d", st.Leads, totalExecs)
+	}
+	if st.Leads+st.Coalesced != uint64(goroutines*keys) {
+		t.Errorf("leads+coalesced = %d, want %d calls", st.Leads+st.Coalesced, goroutines*keys)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight after drain = %d", st.InFlight)
+	}
+}
+
+// TestShardSelectionMatchesMemoHash: a key's flight shard must derive
+// from the same hash as its memo shard, and DoHash with that hash must
+// coalesce with Do of the plain key.
+func TestShardSelectionMatchesMemoHash(t *testing.T) {
+	var g Group[string]
+	key := []byte("2 cups all-purpose flour")
+	h := memo.Hash(key)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.DoHash(h, key, func() string { close(started); <-gate; return "lead" })
+	}()
+	<-started
+
+	// A plain Do on the same key must find the in-flight leader.
+	resCh := make(chan string, 1)
+	go func() {
+		v, shared := g.Do(key, func() string { return "dup" })
+		if !shared {
+			t.Error("duplicate was not coalesced with DoHash leader")
+		}
+		resCh <- v
+	}()
+	// Wait until the duplicate has registered as coalesced-in-waiting,
+	// then release the leader.
+	for g.Stats().InFlight != 1 {
+	}
+	for {
+		st := g.Stats()
+		if st.Coalesced >= 1 || len(resCh) > 0 {
+			break
+		}
+	}
+	close(gate)
+	<-done
+	if v := <-resCh; v != "lead" {
+		t.Errorf("duplicate got %q, want leader's value", v)
+	}
+}

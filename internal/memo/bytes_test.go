@@ -79,8 +79,8 @@ func TestGetBytesRefreshesLRU(t *testing.T) {
 func TestFnv1aBytesMatchesString(t *testing.T) {
 	keys := []string{"", "a", "salt", "2 cups flour", "ingredient-42", "\x00\xff"}
 	for _, k := range keys {
-		if fnv1a(k) != fnv1aBytes([]byte(k)) {
-			t.Errorf("fnv1a(%q) = %d, fnv1aBytes = %d", k, fnv1a(k), fnv1aBytes([]byte(k)))
+		if HashString(k) != Hash([]byte(k)) {
+			t.Errorf("HashString(%q) = %d, Hash = %d", k, HashString(k), Hash([]byte(k)))
 		}
 	}
 }

@@ -6,10 +6,23 @@
 // a full Modified-Jaccard scan (§II-B).
 //
 // The cache is safe for concurrent use: keys are hashed (FNV-1a) onto
-// independently locked shards so N workers rarely contend on the same
-// mutex, and the hit/miss/eviction counters are atomics. Values must be
-// treated as read-only by callers — a cached value is shared by every
-// goroutine that hits it.
+// independently locked, cache-line-padded shards so N workers rarely
+// contend on the same mutex — and never false-share adjacent shards'
+// state. The hit/miss/eviction counters live inside the shard they
+// describe and are updated as plain fields under the shard lock the hot
+// path already holds; Stats aggregates them across shards on read. That
+// removes the per-lookup atomic increments on shared cache lines the
+// previous design paid — under a multi-core worker pool those three
+// shared counters were the only memory every worker wrote on every
+// phrase. Values must be treated as read-only by callers — a cached
+// value is shared by every goroutine that hits it.
+//
+// Shard ownership: the shard index of a key is a pure function of its
+// bytes (ShardIndex of Hash), exported so batch layers can partition
+// work by key hash and give each worker exclusive traffic to "its"
+// shards — the same phrase always lands on the same shard, so a
+// partition-aligned worker pool generates no cross-shard lock traffic
+// on the hot path (DESIGN.md §12).
 //
 // Memoization here can never change results: both memoized functions
 // are pure (a fixed database, matcher configuration, and frozen unit
@@ -20,7 +33,6 @@ package memo
 
 import (
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultShards is the shard count used by New. 16 keeps per-shard
@@ -54,10 +66,6 @@ func (s Stats) HitRate() float64 {
 type Cache[V any] struct {
 	shards []shard[V]
 	mask   uint64 // len(shards) - 1; shard count is a power of two
-
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
 }
 
 // entry is an intrusive doubly-linked LRU list node. head is
@@ -73,6 +81,18 @@ type shard[V any] struct {
 	capacity   int
 	m          map[string]*entry[V]
 	head, tail *entry[V]
+
+	// Per-shard counters, updated under mu (no atomics: the lock is
+	// already held at every update site). Each shard's counters share
+	// its cache lines, not its neighbors' — see the padding below.
+	hits      uint64
+	misses    uint64
+	evictions uint64
+
+	// Pad shards apart so two workers hammering adjacent shards never
+	// false-share a line. The fields above total well under 2 lines;
+	// one full line of slack keeps the next shard's mutex off ours.
+	_ [64]byte
 }
 
 // New builds a cache holding at most capacity entries across
@@ -107,9 +127,10 @@ func NewSharded[V any](capacity, shards int) *Cache[V] {
 	return c
 }
 
-// fnv1a is the 64-bit FNV-1a hash, inlined to keep Get/Put
-// allocation-free.
-func fnv1a(s string) uint64 {
+// HashString is the 64-bit FNV-1a hash of a string key — the hash that
+// selects a key's shard. Inlined (no interface, no seed) to keep
+// Get/Put allocation-free.
+func HashString(s string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -122,9 +143,11 @@ func fnv1a(s string) uint64 {
 	return h
 }
 
-// fnv1aBytes is fnv1a over a byte slice; same algorithm, so a string key
-// and its byte spelling always land on the same shard.
-func fnv1aBytes(b []byte) uint64 {
+// Hash is HashString over a byte spelling; same algorithm, so a string
+// key and its byte spelling always land on the same shard. Exported so
+// callers that partition work by key hash (core's sharded batch
+// dispatch, the flight layer) compute the hash exactly once per key.
+func Hash(b []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -137,25 +160,41 @@ func fnv1aBytes(b []byte) uint64 {
 	return h
 }
 
+// ShardCount returns the number of shards (a power of two).
+func (c *Cache[V]) ShardCount() int { return len(c.shards) }
+
+// ShardIndex maps a key hash (Hash/HashString of the key) to the index
+// of the shard that owns it — a pure function of the key bytes, stable
+// for the cache's lifetime, so batch layers can align worker ownership
+// with shard ownership.
+func (c *Cache[V]) ShardIndex(h uint64) int { return int(h & c.mask) }
+
 func (c *Cache[V]) shardFor(key string) *shard[V] {
-	return &c.shards[fnv1a(key)&c.mask]
+	return &c.shards[HashString(key)&c.mask]
 }
 
 // Get returns the cached value for key and marks it most-recently used.
 func (c *Cache[V]) Get(key string) (V, bool) {
-	s := c.shardFor(key)
+	return c.GetHash(HashString(key), key)
+}
+
+// GetHash is Get with the key's hash (HashString(key)) precomputed, so
+// callers that already hashed the key for shard partitioning or the
+// flight layer don't pay for a second pass over its bytes.
+func (c *Cache[V]) GetHash(h uint64, key string) (V, bool) {
+	s := &c.shards[h&c.mask]
 	s.mu.Lock()
 	e, ok := s.m[key]
 	if !ok {
+		s.misses++
 		s.mu.Unlock()
-		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
 	s.moveToFront(e)
 	v := e.val
+	s.hits++
 	s.mu.Unlock()
-	c.hits.Add(1)
 	return v, true
 }
 
@@ -165,19 +204,24 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // by the compiler and do not allocate. Identical hit/miss, LRU and
 // counter behavior to Get(string(key)).
 func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
-	s := &c.shards[fnv1aBytes(key)&c.mask]
+	return c.GetBytesHash(Hash(key), key)
+}
+
+// GetBytesHash is GetBytes with the key's hash (Hash(key)) precomputed.
+func (c *Cache[V]) GetBytesHash(h uint64, key []byte) (V, bool) {
+	s := &c.shards[h&c.mask]
 	s.mu.Lock()
 	e, ok := s.m[string(key)]
 	if !ok {
+		s.misses++
 		s.mu.Unlock()
-		c.misses.Add(1)
 		var zero V
 		return zero, false
 	}
 	s.moveToFront(e)
 	v := e.val
+	s.hits++
 	s.mu.Unlock()
-	c.hits.Add(1)
 	return v, true
 }
 
@@ -185,7 +229,12 @@ func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
 // of its shard when the shard is full. On a zero-capacity cache Put is
 // a no-op.
 func (c *Cache[V]) Put(key string, val V) {
-	s := c.shardFor(key)
+	c.PutHash(HashString(key), key, val)
+}
+
+// PutHash is Put with the key's hash (HashString(key)) precomputed.
+func (c *Cache[V]) PutHash(h uint64, key string, val V) {
+	s := &c.shards[h&c.mask]
 	if s.capacity <= 0 {
 		return
 	}
@@ -196,20 +245,16 @@ func (c *Cache[V]) Put(key string, val V) {
 		s.mu.Unlock()
 		return
 	}
-	evicted := false
 	if len(s.m) >= s.capacity {
 		old := s.tail
 		s.unlink(old)
 		delete(s.m, old.key)
-		evicted = true
+		s.evictions++
 	}
 	e := &entry[V]{key: key, val: val}
 	s.m[key] = e
 	s.pushFront(e)
 	s.mu.Unlock()
-	if evicted {
-		c.evictions.Add(1)
-	}
 }
 
 // Len returns the current entry count across all shards.
@@ -244,18 +289,26 @@ func (c *Cache[V]) Capacity() int {
 	return c.shards[0].capacity * len(c.shards)
 }
 
-// Stats snapshots the counters. The snapshot is not atomic across
-// counters under concurrent load, which is fine for monitoring; each
-// individual counter is monotonic.
+// Stats aggregates the per-shard counters — the "batched flush" of the
+// sharded design: no aggregate is maintained per lookup, the totals are
+// assembled only when somebody asks. The snapshot is not atomic across
+// shards under concurrent load, which is fine for monitoring; each
+// per-shard counter is monotonic, so so is every aggregate.
 func (c *Cache[V]) Stats() Stats {
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
-		Capacity:  c.Capacity(),
-		Shards:    len(c.shards),
+	st := Stats{
+		Capacity: c.Capacity(),
+		Shards:   len(c.shards),
 	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // --- intrusive LRU list (per shard, under the shard mutex) ---

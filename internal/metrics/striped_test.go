@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestStripedSumExact: per-stripe adds must aggregate to the exact
+// total after writers quiesce, for both the owned-slot pattern and the
+// modulo fold of out-of-range indices.
+func TestStripedSumExact(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 1000
+	)
+	s := NewStriped(8)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Batched-flush pattern: accumulate locally, flush once.
+			local := uint64(0)
+			for i := 0; i < perG; i++ {
+				local++
+			}
+			s.Add(g, local) // g beyond Stripes() folds via modulo
+		}(g)
+	}
+	wg.Wait()
+	if got, want := s.Sum(), uint64(goroutines*perG); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+// TestStripedPadding pins the anti-false-sharing layout: stripes must
+// be at least a cache line apart.
+func TestStripedPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(stripe{}); sz < 64 {
+		t.Fatalf("stripe size = %d, want >= 64 (cache-line padded)", sz)
+	}
+}
+
+// TestStripedDegenerate covers the clamped constructor.
+func TestStripedDegenerate(t *testing.T) {
+	s := NewStriped(0)
+	if s.Stripes() != 1 {
+		t.Fatalf("Stripes = %d, want 1", s.Stripes())
+	}
+	s.Add(5, 3)
+	s.Add(-0x7fffffff%1, 2) // index 0 after fold
+	if s.Sum() != 5 {
+		t.Fatalf("Sum = %d, want 5", s.Sum())
+	}
+}

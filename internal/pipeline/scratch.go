@@ -16,6 +16,7 @@ package pipeline
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nutriprofile/internal/lemma"
 	"nutriprofile/internal/ner"
@@ -189,10 +190,32 @@ func (sc *Scratch) JoinKey(fields ...string) []byte {
 // Put: the memo maps are the warm state the next batch wants, and every
 // per-phrase buffer is re-initialized by Tokenize. No finalizers — an
 // abandoned Scratch is plain garbage (DESIGN.md §10).
-var pool = sync.Pool{New: func() any { return new(Scratch) }}
+var pool = sync.Pool{New: func() any { poolMisses.Add(1); return new(Scratch) }}
+
+var (
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
+)
+
+// PoolStats counts scratch-pool checkouts and the subset that had to
+// allocate a fresh (cold) Scratch. sync.Pool keeps per-P caches that GC
+// cycles and goroutine migration drain, so under an oversubscribed
+// multi-core pool the miss rate is the tell for cold-scratch re-warming
+// costs (re-interning, memo-map cloning) — the per-worker allocation
+// leak the estimator's own worker environments exist to avoid
+// (DESIGN.md §12).
+type PoolStats struct {
+	Gets   uint64 `json:"gets"`
+	Misses uint64 `json:"misses"`
+}
+
+// Stats snapshots the pool counters.
+func Stats() PoolStats {
+	return PoolStats{Gets: poolGets.Load(), Misses: poolMisses.Load()}
+}
 
 // Get checks a Scratch out of the pool.
-func Get() *Scratch { return pool.Get().(*Scratch) }
+func Get() *Scratch { poolGets.Add(1); return pool.Get().(*Scratch) }
 
 // Put returns a Scratch to the pool. The caller must not retain any
 // alias into it afterwards.

@@ -28,6 +28,7 @@ import (
 	"nutriprofile/internal/memo"
 	"nutriprofile/internal/metrics"
 	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/pipeline"
 	"nutriprofile/internal/yield"
 )
 
@@ -253,6 +254,8 @@ type StatsResponse struct {
 		Match  memo.Stats `json:"match"`
 	} `json:"memo"`
 	Flight  flight.Stats         `json:"flight"`
+	Shard   core.ShardStats      `json:"shard"`
+	Scratch pipeline.PoolStats   `json:"scratch_pool"`
 	Matcher match.MatcherStats   `json:"matcher"`
 	HTTP    metrics.Snapshot     `json:"http"`
 	Runtime metrics.RuntimeStats `json:"runtime"`
@@ -262,6 +265,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var out StatsResponse
 	out.Memo.Phrase, out.Memo.Match = s.est.CacheStats()
 	out.Flight = s.est.FlightStats()
+	out.Shard = s.est.ShardStats()
+	out.Scratch = pipeline.Stats()
 	out.Matcher = s.est.MatcherStats()
 	out.HTTP = s.reg.Snapshot()
 	out.Runtime = s.runtime.Sample()
