@@ -43,6 +43,8 @@ bench:
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch/^(sequential|cached_warm)$$|BenchmarkTagPhrase|BenchmarkPipelineScratch|BenchmarkServeEstimate|BenchmarkServeRecipe' \
 		-benchmem -benchtime=1s ./internal/match/ ./internal/server/ . | tee bench_match.txt
+	$(GO) test -run xxx -bench 'BenchmarkLoadBaked|BenchmarkLoadParse' \
+		-benchmem -benchtime=1s ./internal/usda/bake/ | tee -a bench_match.txt
 	$(GO) test -run xxx -bench 'BenchmarkEstimateBatch/^(parallel|parallel_cached_warm)$$' -cpu 1,4,8 \
 		-benchmem -benchtime=1s . | tee -a bench_match.txt
 	$(GO) run ./cmd/benchjson -in bench_match.txt -o BENCH_match.json
@@ -62,6 +64,8 @@ fuzz:
 	$(GO) test -fuzz FuzzExpandFractions -fuzztime 15s ./internal/textutil/
 	$(GO) test -fuzz FuzzPipelineScratch -fuzztime 15s ./internal/pipeline/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/recipedb/
+	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/usda/sr/
+	$(GO) test -fuzz FuzzLoad -fuzztime 15s ./internal/usda/bake/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 15s -run xxx ./internal/server/
 	$(GO) test -fuzz FuzzRecipeHandler -fuzztime 15s -run xxx ./internal/server/
 
@@ -84,13 +88,18 @@ cover-check:
 	check ./internal/core $(CORE_COVER_FLOOR); \
 	echo "cover-check: all floors met (server >= $(SERVER_COVER_FLOOR)%, core >= $(CORE_COVER_FLOOR)%)"
 
-# Boot nutriserve, curl all four routes, verify exit codes, then check
-# SIGTERM drains cleanly. The end-to-end smoke CI runs on every push.
+# Bake two fixture images, boot nutriserve -db on the first, curl all
+# four routes, hot-swap to the second via /admin/reload, verify
+# /v1/stats reports the new snapshot, then check SIGTERM drains
+# cleanly. The end-to-end smoke CI runs on every push.
 SMOKE_ADDR ?= 127.0.0.1:18080
 serve-smoke:
 	@set -e; \
 	$(GO) build -o /tmp/nutriserve ./cmd/nutriserve; \
-	/tmp/nutriserve -addr $(SMOKE_ADDR) -quiet & pid=$$!; \
+	$(GO) build -o /tmp/dbbake ./cmd/dbbake; \
+	/tmp/dbbake -o /tmp/smoke-a.img >/dev/null; \
+	/tmp/dbbake -o /tmp/smoke-b.img -synth 50 >/dev/null; \
+	/tmp/nutriserve -addr $(SMOKE_ADDR) -db /tmp/smoke-a.img -quiet & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	ok=0; for i in $$(seq 1 50); do \
 		if curl -fsS http://$(SMOKE_ADDR)/v1/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.1; \
@@ -103,9 +112,16 @@ serve-smoke:
 		-d '{"ingredients":["2 cups flour","1 cup sugar","2 eggs"],"servings":4,"method":"baked"}' \
 		http://$(SMOKE_ADDR)/v1/recipe >/dev/null; \
 	curl -fsS http://$(SMOKE_ADDR)/v1/stats >/dev/null; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"path":"/tmp/smoke-b.img"}' http://$(SMOKE_ADDR)/admin/reload; echo; \
+	curl -fsS http://$(SMOKE_ADDR)/v1/stats | grep -q '"version":2' || \
+		{ echo "serve-smoke: stats does not report reloaded snapshot v2" >&2; exit 1; }; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"phrase":"2 cups all-purpose flour"}' http://$(SMOKE_ADDR)/v1/estimate >/dev/null; \
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT; \
-	echo "serve-smoke: all four routes OK, SIGTERM drained cleanly"
+	rm -f /tmp/smoke-a.img /tmp/smoke-b.img; \
+	echo "serve-smoke: all routes OK, hot reload v1->v2 OK, SIGTERM drained cleanly"
 
 clean:
 	$(GO) clean ./...

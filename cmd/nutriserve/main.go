@@ -8,6 +8,8 @@
 //	                                                        → aggregated recipe profile
 //	GET  /v1/healthz                                        → liveness probe
 //	GET  /v1/stats                                          → memo/matcher/HTTP counters
+//	POST /admin/reload {"path": "/data/new.img"}            → hot-swap the DB (with -db;
+//	                                                          loopback peers only)
 //
 // The server sheds load above -max-in-flight concurrent estimation
 // requests (429 + Retry-After; it never queues unboundedly), bounds
@@ -35,6 +37,7 @@ import (
 	"nutriprofile/internal/core"
 	"nutriprofile/internal/server"
 	"nutriprofile/internal/usda"
+	"nutriprofile/internal/usda/bake"
 )
 
 func main() {
@@ -48,16 +51,32 @@ func main() {
 	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
 	coalesce := flag.Bool("coalesce", true, "coalesce concurrent estimates of the same phrase onto one pipeline pass (no effect with -cache 0)")
 	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
+	dbImage := flag.String("db", "", "serve from a baked DB image (cmd/dbbake); enables POST /admin/reload")
 	fuzzy := flag.Bool("fuzzy", false, "enable typo-tolerant matching")
 	quiet := flag.Bool("quiet", false, "disable per-request access logging")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	db := usda.Seed()
-	if *regional {
-		db = usda.WithRegional()
+	opts := core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize, DisableCoalescing: !*coalesce}
+	var est *core.Estimator
+	var err error
+	switch {
+	case *dbImage != "":
+		// Baked image: single-read load, index adopted zero-copy, and the
+		// image stays hot-swappable at runtime via POST /admin/reload.
+		if *regional {
+			log.Fatalf("nutriserve: -db and -regional are mutually exclusive")
+		}
+		ld, lerr := bake.LoadFile(*dbImage)
+		if lerr != nil {
+			log.Fatalf("nutriserve: loading %s: %v", *dbImage, lerr)
+		}
+		est, err = core.NewWithIndex(ld.DB, nil, opts, ld.Index, *dbImage)
+	case *regional:
+		est, err = core.New(usda.WithRegional(), nil, opts)
+	default:
+		est, err = core.New(usda.Seed(), nil, opts)
 	}
-	est, err := core.New(db, nil, core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize, DisableCoalescing: !*coalesce})
 	if err != nil {
 		log.Fatalf("nutriserve: %v", err)
 	}
@@ -73,6 +92,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Workers:        *workers,
 		RetryAfter:     *retryAfter,
+		EnableReload:   *dbImage != "",
 		AccessLog:      access,
 	})
 	if err != nil {
@@ -103,8 +123,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("nutriserve: listening on %s (max-in-flight=%d timeout=%s cache=%d foods=%d)",
-		*addr, *maxInFlight, *timeout, *cacheSize, db.Len())
+	st := est.SnapshotStats()
+	log.Printf("nutriserve: listening on %s (max-in-flight=%d timeout=%s cache=%d foods=%d db=%s v%d)",
+		*addr, *maxInFlight, *timeout, *cacheSize, st.Foods, st.Source, st.Version)
 	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "nutriserve: %v\n", err)
 		os.Exit(1)

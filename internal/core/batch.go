@@ -54,10 +54,11 @@ func normWorkers(workers, items int) int {
 // forEachIndex runs fn(i, w) for i in [0, n) on a bounded worker pool.
 // Indices are handed out by an atomic counter, so the pool stays busy
 // even when per-item cost is skewed (cache hits vs full matches). Each
-// worker checks one environment out of the estimator's free list and
-// reuses it for every index it claims, flushing its stats once on exit.
-func (e *Estimator) forEachIndex(n, workers int, fn func(int, *worker)) {
-	e.forEachIndexCtx(context.Background(), n, workers, fn)
+// worker checks one environment out of the estimator's free list —
+// pinned to snap's matcher — and reuses it for every index it claims,
+// flushing its stats once on exit.
+func (e *Estimator) forEachIndex(snap *Snapshot, n, workers int, fn func(int, *worker)) {
+	e.forEachIndexCtx(context.Background(), snap, n, workers, fn)
 }
 
 // forEachIndexCtx is forEachIndex with cancellation: once ctx is done,
@@ -65,11 +66,11 @@ func (e *Estimator) forEachIndex(n, workers int, fn func(int, *worker)) {
 // Items already in flight run to completion (per-item work is
 // microseconds; there is no partial-item state to unwind), so the
 // cancellation latency is one item per worker.
-func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func(int, *worker)) error {
+func (e *Estimator) forEachIndexCtx(ctx context.Context, snap *Snapshot, n, workers int, fn func(int, *worker)) error {
 	workers = normWorkers(workers, n)
 	done := ctx.Done()
 	if workers == 1 {
-		w := worker{env: e.getEnv()}
+		w := worker{env: e.getEnv(snap)}
 		defer e.flushWorker(&w, 0)
 		for i := 0; i < n; i++ {
 			select {
@@ -87,7 +88,7 @@ func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func
 	for wk := 0; wk < workers; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			w := worker{env: e.getEnv()}
+			w := worker{env: e.getEnv(snap)}
 			defer e.flushWorker(&w, wk%statStripes)
 			for {
 				select {
@@ -112,18 +113,22 @@ func (e *Estimator) forEachIndexCtx(ctx context.Context, n, workers int, fn func
 // per-slot L1s, zero shared writes on repeats); everything else runs on
 // the work-stealing pool. Results are identical either way.
 func (e *Estimator) batchInto(ctx context.Context, phrases []string, workers int, out []IngredientResult) error {
+	// One pin per batch: every phrase in the batch — and every worker's
+	// match session — resolves against the same snapshot, even if a
+	// reload lands mid-batch.
+	v := e.pin()
 	workers = normWorkers(workers, len(phrases))
 	if workers > 1 && e.phraseCache != nil && !e.opts.DisableSharding {
 		if workers > numSlots {
 			workers = numSlots
 		}
-		return e.estimateShardedCtx(ctx, phrases, workers, out)
+		return e.estimateShardedCtx(ctx, v, phrases, workers, out)
 	}
-	return e.forEachIndexCtx(ctx, len(phrases), workers, func(i int, w *worker) {
+	return e.forEachIndexCtx(ctx, v.snap, len(phrases), workers, func(i int, w *worker) {
 		// nil slot: no L1 on the work-stealing path (indices are claimed
 		// dynamically, so no worker owns a stable phrase subset), but the
 		// per-worker phrase counting still applies.
-		out[i] = e.estimateSlot(phrases[i], w, nil)
+		out[i] = e.estimateSlot(v, phrases[i], w, nil)
 	})
 }
 
@@ -218,7 +223,7 @@ type RecipeOutcome struct {
 // nesting another pool per recipe would only multiply goroutines. Slot
 // L1s are skipped (nil slot) — recipe workers don't own slots; repeats
 // still hit the shared L2.
-func (e *Estimator) estimateRecipeWorker(r RecipeInput, w *worker) RecipeOutcome {
+func (e *Estimator) estimateRecipeWorker(v view, r RecipeInput, w *worker) RecipeOutcome {
 	if len(r.Phrases) == 0 {
 		return RecipeOutcome{Err: errors.New("core: recipe has no ingredients")}
 	}
@@ -227,7 +232,7 @@ func (e *Estimator) estimateRecipeWorker(r RecipeInput, w *worker) RecipeOutcome
 	}
 	ingredients := make([]IngredientResult, len(r.Phrases))
 	for i, p := range r.Phrases {
-		ingredients[i] = e.estimateSlot(p, w, nil)
+		ingredients[i] = e.estimateSlot(v, p, w, nil)
 	}
 	res := aggregateRecipe(ingredients, r.Servings)
 	res.Total = yield.Apply(res.Total, r.Method)
@@ -244,8 +249,9 @@ func (e *Estimator) EstimateRecipes(recipes []RecipeInput, workers int) []Recipe
 		return nil
 	}
 	out := make([]RecipeOutcome, len(recipes))
-	e.forEachIndex(len(recipes), workers, func(i int, w *worker) {
-		out[i] = e.estimateRecipeWorker(recipes[i], w)
+	v := e.pin()
+	e.forEachIndex(v.snap, len(recipes), workers, func(i int, w *worker) {
+		out[i] = e.estimateRecipeWorker(v, recipes[i], w)
 	})
 	return out
 }
@@ -267,5 +273,5 @@ func (e *Estimator) CacheStats() (phrase, match memo.Stats) {
 // observability surface of the estimation hot path (cmd/nutriprofile
 // -stats).
 func (e *Estimator) MatcherStats() match.MatcherStats {
-	return e.matcher.Stats()
+	return e.snap.Load().matcher.Stats()
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nutriprofile/internal/flight"
 	"nutriprofile/internal/match"
@@ -139,10 +140,16 @@ func (o *Options) fill() {
 // Tagger is itself concurrency-safe — the built-in RuleTagger and a
 // trained ner.Model both are, since Tag only reads model state.
 type Estimator struct {
-	db      *usda.DB
-	matcher *match.Matcher
-	tagger  ner.Tagger
-	opts    Options
+	// snap is the live (database, matcher, version) snapshot; see
+	// snapshot.go for the hot-swap protocol. Every request pins it once
+	// and computes entirely against the pinned value.
+	snap atomic.Pointer[Snapshot]
+	// swapMu serializes snapshot writers (Install, ObserveUnits' gen
+	// bump) so version/gen stay strictly monotonic. Readers never take it.
+	swapMu sync.Mutex
+
+	tagger ner.Tagger
+	opts   Options
 
 	// statsMu guards unitStats: ObserveUnits writes under the write
 	// lock, the most-frequent-unit fallback reads under the read lock.
@@ -179,17 +186,36 @@ func New(db *usda.DB, tagger ner.Tagger, opts Options) (*Estimator, error) {
 	if db == nil {
 		return nil, errors.New("core: nil database")
 	}
+	return newEstimator(db, match.NewDefault(db), tagger, opts, "boot")
+}
+
+// NewWithIndex builds an Estimator whose matcher adopts a prebuilt
+// scoring index (a baked DB image's) instead of re-indexing db — the
+// nutriserve -db startup path. The index is structurally validated;
+// source labels the snapshot's origin (e.g. the image path).
+func NewWithIndex(db *usda.DB, tagger ner.Tagger, opts Options, idx *match.Index, source string) (*Estimator, error) {
+	if db == nil {
+		return nil, errors.New("core: nil database")
+	}
+	opts.fill()
+	m, err := match.NewFromIndex(db, match.DefaultOptions(), idx)
+	if err != nil {
+		return nil, err
+	}
+	return newEstimator(db, m, tagger, opts, source)
+}
+
+func newEstimator(db *usda.DB, m *match.Matcher, tagger ner.Tagger, opts Options, source string) (*Estimator, error) {
 	if tagger == nil {
 		tagger = ner.RuleTagger{}
 	}
 	opts.fill()
 	e := &Estimator{
-		db:        db,
-		matcher:   match.NewDefault(db),
 		tagger:    tagger,
 		opts:      opts,
 		unitStats: map[int]map[string]int{},
 	}
+	e.snap.Store(&Snapshot{db: db, matcher: m, version: 1, gen: 0, source: source})
 	if opts.CacheSize > 0 {
 		e.phraseCache = memo.New[IngredientResult](opts.CacheSize)
 		e.matchCache = memo.New[matchHit](opts.CacheSize)
@@ -208,11 +234,12 @@ func NewDefault() *Estimator {
 	return e
 }
 
-// Matcher exposes the underlying description matcher.
-func (e *Estimator) Matcher() *match.Matcher { return e.matcher }
+// Matcher exposes the live snapshot's description matcher. Callers
+// needing matcher+DB consistency should go through Current() instead.
+func (e *Estimator) Matcher() *match.Matcher { return e.snap.Load().matcher }
 
-// DB exposes the composition table.
-func (e *Estimator) DB() *usda.DB { return e.db }
+// DB exposes the live snapshot's composition table.
+func (e *Estimator) DB() *usda.DB { return e.snap.Load().db }
 
 // IngredientResult is the pipeline output for one phrase.
 type IngredientResult struct {
@@ -251,7 +278,7 @@ type RecipeResult struct {
 func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 	sc := pipeline.Get()
 	defer pipeline.Put(sc)
-	return e.estimateCached(phrase, sc, nil)
+	return e.estimateCached(e.pin(), phrase, sc, nil)
 }
 
 // estimateCached is EstimateIngredient on a caller-owned scratch: the
@@ -263,10 +290,15 @@ func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 // — one pass over the key bytes instead of three.
 //
 // sess, when non-nil, is the worker's pinned match session; nil callers
-// match through the shared pool-backed matcher entry points.
-func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
+// match through the pinned snapshot's pool-backed matcher entry points.
+//
+// v is the request's pinned read context. Cache stores go through
+// PutHashGen with the generation captured at pin time, so a result
+// computed against a snapshot that a concurrent Install/ObserveUnits
+// has since retired is dropped instead of cached (snapshot.go).
+func (e *Estimator) estimateCached(v view, phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
 	if e.phraseCache == nil {
-		return e.estimateIngredient(phrase, sc, sess)
+		return e.estimateIngredient(v, phrase, sc, sess)
 	}
 	sc.Tokenize(phrase)
 	key := sc.PhraseKey()
@@ -278,7 +310,7 @@ func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch, sess *ma
 		return r
 	}
 	if e.opts.DisableCoalescing {
-		r := e.estimateTokenized(phrase, sc, sess)
+		r := e.estimateTokenized(v, phrase, sc, sess)
 		// key still aliases the scratch (nothing downstream of Tokenize
 		// touches the phrase-key buffer); materialize it only on this
 		// miss path. Scrub the verbatim phrase from the stored copy: the
@@ -286,7 +318,7 @@ func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch, sess *ma
 		// pass phrases whose backing bytes it reuses after the call.
 		stored := r
 		stored.Phrase = ""
-		e.phraseCache.PutHash(h, string(key), stored)
+		e.phraseCache.PutHashGen(h, string(key), stored, v.phraseGen)
 		return r
 	}
 	// Coalesce concurrent misses on the same token stream: under load,
@@ -296,9 +328,9 @@ func (e *Estimator) estimateCached(phrase string, sc *pipeline.Scratch, sess *ma
 	// block on its flight instead of redoing the pass. The shared value
 	// carries no Phrase for the same reason the stored one doesn't.
 	r, _ := e.flights.DoHash(h, key, func() IngredientResult {
-		r := e.estimateTokenized(phrase, sc, sess)
+		r := e.estimateTokenized(v, phrase, sc, sess)
 		r.Phrase = ""
-		e.phraseCache.PutHash(h, string(key), r)
+		e.phraseCache.PutHashGen(h, string(key), r, v.phraseGen)
 		return r
 	})
 	r.Phrase = phrase
@@ -317,30 +349,31 @@ func (e *Estimator) FlightStats() flight.Stats { return e.flights.Stats() }
 // results retain it past the call. The same read-only contract as
 // EstimateIngredient applies to the returned result.
 func (e *Estimator) EstimateIngredientScratch(phrase string, sc *pipeline.Scratch) IngredientResult {
-	return e.estimateCached(phrase, sc, nil)
+	return e.estimateCached(e.pin(), phrase, sc, nil)
 }
 
 // matchQuery runs the configured description match, memoized when the
-// match cache is enabled. Matching reads only the immutable Matcher, so
-// entries never need invalidation. The key hash is computed once and
-// shared by the shard probe and the store.
-func (e *Estimator) matchQuery(q match.Query, sc *pipeline.Scratch, sess *match.Session) (match.Result, bool) {
+// match cache is enabled. Match results depend on the pinned snapshot's
+// matcher, so stores carry the generation captured at pin time and a
+// swap purges the cache. The key hash is computed once and shared by
+// the shard probe and the store.
+func (e *Estimator) matchQuery(v view, q match.Query, sc *pipeline.Scratch, sess *match.Session) (match.Result, bool) {
 	if e.matchCache == nil {
-		return e.rawMatch(q, sess)
+		return e.rawMatch(v, q, sess)
 	}
 	key := sc.JoinKey(q.Name, q.State, q.Temp, q.DryFresh)
 	kh := memo.Hash(key)
 	if h, ok := e.matchCache.GetBytesHash(kh, key); ok {
 		return h.res, h.ok
 	}
-	res, ok := e.rawMatch(q, sess)
-	e.matchCache.PutHash(kh, string(key), matchHit{res: res, ok: ok})
+	res, ok := e.rawMatch(v, q, sess)
+	e.matchCache.PutHashGen(kh, string(key), matchHit{res: res, ok: ok}, v.matchGen)
 	return res, ok
 }
 
 // rawMatch dispatches to the worker's pinned session when one is given,
-// otherwise to the shared pool-backed matcher entry points.
-func (e *Estimator) rawMatch(q match.Query, sess *match.Session) (match.Result, bool) {
+// otherwise to the pinned snapshot's pool-backed matcher entry points.
+func (e *Estimator) rawMatch(v view, q match.Query, sess *match.Session) (match.Result, bool) {
 	if sess != nil {
 		if e.opts.FuzzyMatch {
 			return sess.MatchFuzzy(q)
@@ -348,20 +381,21 @@ func (e *Estimator) rawMatch(q match.Query, sess *match.Session) (match.Result, 
 		return sess.Match(q)
 	}
 	if e.opts.FuzzyMatch {
-		return e.matcher.MatchFuzzy(q)
+		return v.snap.matcher.MatchFuzzy(q)
 	}
-	return e.matcher.Match(q)
+	return v.snap.matcher.Match(q)
 }
 
 // estimateIngredient is the uncached pipeline.
-func (e *Estimator) estimateIngredient(phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
+func (e *Estimator) estimateIngredient(v view, phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
 	sc.Tokenize(phrase)
-	return e.estimateTokenized(phrase, sc, sess)
+	return e.estimateTokenized(v, phrase, sc, sess)
 }
 
 // estimateTokenized runs the pipeline over the phrase already tokenized
-// into sc (by estimateCached or estimateIngredient).
-func (e *Estimator) estimateTokenized(phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
+// into sc (by estimateCached or estimateIngredient). Everything resolves
+// against v's snapshot: matcher and food lookup can never mix databases.
+func (e *Estimator) estimateTokenized(v view, phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
 	res := IngredientResult{Phrase: phrase}
 	res.Extraction = sc.Extract(e.tagger)
 	if res.Extraction.Name == "" {
@@ -374,12 +408,12 @@ func (e *Estimator) estimateTokenized(phrase string, sc *pipeline.Scratch, sess 
 		Temp:     res.Extraction.Temp,
 		DryFresh: res.Extraction.DryFresh,
 	}
-	m, ok := e.matchQuery(q, sc, sess)
+	m, ok := e.matchQuery(v, q, sc, sess)
 	if !ok {
 		return res
 	}
 	res.Match, res.Matched = m, true
-	food, _ := e.db.ByNDB(m.NDB)
+	food, _ := v.snap.db.ByNDB(m.NDB)
 
 	res.Quantity = e.quantity(res.Extraction.Quantity)
 	e.resolveUnit(&res, food, sc)
@@ -592,12 +626,13 @@ func (e *Estimator) ObserveUnits(phrases []string) {
 		ndb  int
 		unit string
 	}
+	v := e.pin()
 	observations := make([]obs, len(phrases))
-	e.forEachIndex(len(phrases), 0, func(i int, w *worker) {
+	e.forEachIndex(v.snap, len(phrases), 0, func(i int, w *worker) {
 		// Bypass the phrase cache: a cached most-frequent-unit result
 		// never contributes, and observation must not pollute the cache
 		// with entries that this very pass is about to invalidate.
-		r := e.estimateIngredient(phrases[i], w.env.sc, w.env.sess)
+		r := e.estimateIngredient(v, phrases[i], w.env.sc, w.env.sess)
 		if !r.Matched || r.Unit == "" {
 			return
 		}
@@ -622,11 +657,19 @@ func (e *Estimator) ObserveUnits(phrases []string) {
 	e.statsMu.Unlock()
 
 	if e.phraseCache != nil {
+		// Unit statistics changed, so cached most-frequent-unit results
+		// are stale. Retire the current generation the same way Install
+		// does: publish a snapshot copy with gen bumped (same db/matcher),
+		// then purge — the publish-before-purge order plus the gen-guarded
+		// stores make the invalidation race-free even against estimates
+		// running concurrently with this pass (snapshot.go). The slot L1s
+		// (shard.go) are gen-stamped, so they clear on next claim.
+		e.swapMu.Lock()
+		ns := *e.snap.Load()
+		ns.gen++
+		e.snap.Store(&ns)
 		e.phraseCache.Purge()
-		// The slot L1s (shard.go) cache the same invalidated results;
-		// bumping the epoch makes every subsequent claimSlot clear its
-		// slot before serving from it.
-		e.epoch.Add(1)
+		e.swapMu.Unlock()
 	}
 }
 

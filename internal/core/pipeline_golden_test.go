@@ -36,12 +36,12 @@ func refEstimateIngredient(e *Estimator, phrase string) IngredientResult {
 		Temp:     res.Extraction.Temp,
 		DryFresh: res.Extraction.DryFresh,
 	}
-	m, ok := e.rawMatch(q, nil)
+	m, ok := e.rawMatch(e.pin(), q, nil)
 	if !ok {
 		return res
 	}
 	res.Match, res.Matched = m, true
-	food, _ := e.db.ByNDB(m.NDB)
+	food, _ := e.DB().ByNDB(m.NDB)
 
 	res.Quantity = e.quantity(res.Extraction.Quantity)
 	refResolveUnit(e, &res, food)

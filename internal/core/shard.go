@@ -33,7 +33,6 @@ import (
 	"context"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"nutriprofile/internal/match"
 	"nutriprofile/internal/memo"
@@ -66,25 +65,29 @@ const (
 	statStripes = 16
 )
 
-// slot is one shard of the phrase-hash partition: an epoch-gated L1
+// slot is one shard of the phrase-hash partition: a generation-gated L1
 // cache of full IngredientResults keyed by raw phrase. A slot is locked
 // for the whole duration of a sharded batch by the one worker that owns
 // it, so the L1 map is read and written without any per-phrase
 // synchronization. Padded so neighboring slots' locks never share a
 // cache line.
 type slot struct {
-	mu    sync.Mutex
-	l1    map[string]IngredientResult
-	epoch uint64 // generation of e.epoch the l1 contents belong to
-	_     [64]byte
+	mu  sync.Mutex
+	l1  map[string]IngredientResult
+	gen uint64 // Snapshot.gen the l1 contents were computed against
+	_   [64]byte
 }
 
 // env is one worker environment: the per-goroutine NLP scratch arena
-// plus a pinned match session (its own scoring arena). Environments are
-// checked out once per worker per batch and returned warm.
+// plus a match session pinned to one matcher (its own scoring arena).
+// Environments are checked out once per worker per batch and returned
+// warm; m records which matcher the session belongs to so a checkout
+// after a snapshot swap re-pins instead of scoring against the retired
+// index.
 type env struct {
 	sc   *pipeline.Scratch
 	sess *match.Session
+	m    *match.Matcher
 }
 
 // worker is the per-batch-worker state: its environment and the
@@ -99,10 +102,6 @@ type worker struct {
 // value (it is a few KB of padded slots).
 type shardState struct {
 	slots [numSlots]slot
-
-	// epoch generations the slot L1s are validated against; bumped
-	// whenever the phrase cache is purged (ObserveUnits).
-	epoch atomic.Uint64
 
 	envMu    sync.Mutex
 	freeEnvs []*env
@@ -155,19 +154,27 @@ func slotIndex(phrase string) int {
 
 // getEnv checks a worker environment out of the estimator-owned free
 // list, creating one when the list is empty. LIFO: the most recently
-// returned (warmest) environment is reused first.
-func (e *Estimator) getEnv() *env {
+// returned (warmest) environment is reused first. snap is the batch's
+// pinned snapshot; an environment whose session was pinned to a
+// now-retired matcher is re-pinned before reuse, so a worker never
+// scores against a different index than the snapshot it estimates with.
+func (e *Estimator) getEnv(snap *Snapshot) *env {
 	e.envMu.Lock()
 	if n := len(e.freeEnvs); n > 0 {
 		v := e.freeEnvs[n-1]
 		e.freeEnvs[n-1] = nil
 		e.freeEnvs = e.freeEnvs[:n-1]
 		e.envMu.Unlock()
+		if v.m != snap.matcher {
+			v.sess.Close()
+			v.sess = snap.matcher.NewSession()
+			v.m = snap.matcher
+		}
 		return v
 	}
 	e.envsMade++
 	e.envMu.Unlock()
-	return &env{sc: new(pipeline.Scratch), sess: e.matcher.NewSession()}
+	return &env{sc: new(pipeline.Scratch), sess: snap.matcher.NewSession(), m: snap.matcher}
 }
 
 // putEnv returns an environment; beyond maxFreeEnvs it is dismantled
@@ -185,19 +192,22 @@ func (e *Estimator) putEnv(v *env) {
 
 // claimSlot tries to take exclusive ownership of slot i for a batch.
 // nil means another batch holds it — the caller proceeds without that
-// slot's L1 (the shared L2 below still absorbs repeats). On a claim,
-// the L1 is invalidated if the estimator's epoch moved (ObserveUnits
-// changed the unit statistics since the slot last ran).
-func (e *Estimator) claimSlot(i int) *slot {
+// slot's L1 (the shared L2 below still absorbs repeats). gen is the
+// claiming batch's pinned Snapshot.gen: on a claim, the L1 is cleared
+// if its contents were computed against any other generation (a DB
+// swap or ObserveUnits pass retired them — or, after a swap raced this
+// batch's pin, the slot ran ahead on the newer snapshot; either way
+// mixed-generation contents are never served).
+func (e *Estimator) claimSlot(i int, gen uint64) *slot {
 	sl := &e.slots[i]
 	if !sl.mu.TryLock() {
 		return nil
 	}
-	if cur := e.epoch.Load(); sl.epoch != cur {
+	if sl.gen != gen {
 		if sl.l1 != nil {
 			clear(sl.l1)
 		}
-		sl.epoch = cur
+		sl.gen = gen
 	}
 	return sl
 }
@@ -221,7 +231,7 @@ func (e *Estimator) flushWorker(w *worker, stripe int) {
 // callers (the serving layer) may reuse the phrase's backing bytes, and
 // the stored value drops the verbatim Phrase for the same reason the L2
 // copy does.
-func (e *Estimator) estimateSlot(phrase string, w *worker, sl *slot) IngredientResult {
+func (e *Estimator) estimateSlot(v view, phrase string, w *worker, sl *slot) IngredientResult {
 	w.phrases++
 	if sl != nil {
 		if r, ok := sl.l1[phrase]; ok {
@@ -230,7 +240,7 @@ func (e *Estimator) estimateSlot(phrase string, w *worker, sl *slot) IngredientR
 			return r
 		}
 	}
-	r := e.estimateCached(phrase, w.env.sc, w.env.sess)
+	r := e.estimateCached(v, phrase, w.env.sc, w.env.sess)
 	if sl != nil {
 		stored := r
 		stored.Phrase = ""
@@ -256,17 +266,17 @@ func (e *Estimator) estimateSlot(phrase string, w *worker, sl *slot) IngredientR
 // the per-worker share concentrates tightly, and repeat-heavy skew is
 // self-correcting (repeats are L1 hits, orders of magnitude cheaper
 // than first contact).
-func (e *Estimator) estimateShardedCtx(ctx context.Context, phrases []string, workers int, out []IngredientResult) error {
+func (e *Estimator) estimateShardedCtx(ctx context.Context, v view, phrases []string, workers int, out []IngredientResult) error {
 	done := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for wk := 0; wk < workers; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			w := worker{env: e.getEnv()}
+			w := worker{env: e.getEnv(v.snap)}
 			var claimed [numSlots]*slot
 			for s := wk; s < numSlots; s += workers {
-				claimed[s] = e.claimSlot(s)
+				claimed[s] = e.claimSlot(s, v.snap.gen)
 			}
 			defer func() {
 				for s := wk; s < numSlots; s += workers {
@@ -286,7 +296,7 @@ func (e *Estimator) estimateShardedCtx(ctx context.Context, phrases []string, wo
 					return
 				default:
 				}
-				out[i] = e.estimateSlot(p, &w, claimed[s])
+				out[i] = e.estimateSlot(v, p, &w, claimed[s])
 			}
 		}(wk)
 	}

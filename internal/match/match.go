@@ -1,6 +1,8 @@
 package match
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -146,11 +148,36 @@ type Matcher struct {
 	poolMisses atomic.Uint64
 }
 
-// New preprocesses every description in db and builds the interned
+// Index is the matcher's prebuilt scoring index in its exact in-memory
+// layout: the interned vocabulary (Terms[id] is term id's word), the
+// CSR-flat document term sets, and the CSR-flat posting lists. New
+// computes an Index from the database descriptions; the baked-image
+// loader (internal/usda/bake) deserializes one and hands it to
+// NewFromIndex, skipping the normalize/intern/flatten pass entirely.
+// Index construction depends only on the database — never on Options —
+// so one Index serves any matcher configuration.
+type Index struct {
+	// Terms is the interned vocabulary in ID order.
+	Terms []string
+	// DocTerms[DocOff[d]:DocOff[d+1]] is document d's sorted unique term
+	// IDs; HasRaw[d] records the literal state word "raw" (§II-B(g)).
+	DocTerms []uint32
+	DocOff   []int32
+	HasRaw   []bool
+	// PostDocs[PostOff[t]:PostOff[t+1]] is the ascending document
+	// indices containing term t, PostPri the term's 1-based first
+	// comma-term index in that document (§II-B(h)).
+	PostDocs []int32
+	PostPri  []int32
+	PostOff  []int32
+}
+
+// buildIndex preprocesses every description in db into the interned
 // vocabulary, document ID sets and posting lists.
-func New(db *usda.DB, opts Options) *Matcher {
+func buildIndex(db *usda.DB) (*Index, *textutil.Interner) {
 	n := db.Len()
-	m := &Matcher{db: db, opts: opts, vocab: textutil.NewInterner()}
+	idx := &Index{}
+	vocab := textutil.NewInterner()
 
 	// Pass 1: normalize each description into per-document (term ID,
 	// priority) pairs, interning every word.
@@ -159,7 +186,7 @@ func New(db *usda.DB, opts Options) *Matcher {
 		pri int32
 	}
 	perDoc := make([][]termPri, n)
-	m.hasRaw = make([]bool, n)
+	idx.HasRaw = make([]bool, n)
 	var norm, toks []string
 	for d := 0; d < n; d++ {
 		var doc []termPri
@@ -167,9 +194,9 @@ func New(db *usda.DB, opts Options) *Matcher {
 			norm, toks = appendNormalizedTokens(norm[:0], term, toks)
 			for _, w := range norm {
 				if w == "raw" {
-					m.hasRaw[d] = true
+					idx.HasRaw[d] = true
 				}
-				id := m.vocab.Intern(w)
+				id := vocab.Intern(w)
 				dup := false
 				for _, tp := range doc {
 					if tp.id == id {
@@ -190,7 +217,7 @@ func New(db *usda.DB, opts Options) *Matcher {
 	// Pass 2: flatten documents (sorted by term ID) and posting lists
 	// (sorted by document index, which the ascending doc loop gives for
 	// free).
-	vocabLen := m.vocab.Len()
+	vocabLen := vocab.Len()
 	total := 0
 	counts := make([]int32, vocabLen+1)
 	for _, doc := range perDoc {
@@ -199,34 +226,145 @@ func New(db *usda.DB, opts Options) *Matcher {
 			counts[tp.id+1]++
 		}
 	}
-	m.docTerms = make([]uint32, 0, total)
-	m.docOff = make([]int32, n+1)
-	m.postOff = make([]int32, vocabLen+1)
+	idx.Terms = vocab.Terms()
+	idx.DocTerms = make([]uint32, 0, total)
+	idx.DocOff = make([]int32, n+1)
+	idx.PostOff = make([]int32, vocabLen+1)
 	for t := 1; t <= vocabLen; t++ {
-		m.postOff[t] = m.postOff[t-1] + counts[t]
+		idx.PostOff[t] = idx.PostOff[t-1] + counts[t]
 	}
-	m.postDocs = make([]int32, total)
-	m.postPri = make([]int32, total)
-	fill := append([]int32(nil), m.postOff[:vocabLen]...)
+	idx.PostDocs = make([]int32, total)
+	idx.PostPri = make([]int32, total)
+	fill := append([]int32(nil), idx.PostOff[:vocabLen]...)
 	ids := make([]uint32, 0, 16)
 	for d, doc := range perDoc {
 		ids = ids[:0]
 		for _, tp := range doc {
 			ids = append(ids, tp.id)
 			p := fill[tp.id]
-			m.postDocs[p] = int32(d)
-			m.postPri[p] = tp.pri
+			idx.PostDocs[p] = int32(d)
+			idx.PostPri[p] = tp.pri
 			fill[tp.id] = p + 1
 		}
-		m.docTerms = append(m.docTerms, textutil.SortDedupIDs(ids)...)
-		m.docOff[d+1] = int32(len(m.docTerms))
+		idx.DocTerms = append(idx.DocTerms, textutil.SortDedupIDs(ids)...)
+		idx.DocOff[d+1] = int32(len(idx.DocTerms))
 	}
+	return idx, vocab
+}
 
+// BuildIndex computes the scoring index for db — exactly the index New
+// builds internally. cmd/dbbake serializes its output into the baked
+// image so serving processes can load it back with NewFromIndex.
+func BuildIndex(db *usda.DB) *Index {
+	idx, _ := buildIndex(db)
+	return idx
+}
+
+// ErrBadIndex reports a structurally invalid prebuilt index (corrupt or
+// mismatched baked image).
+var ErrBadIndex = errors.New("match: invalid prebuilt index")
+
+// validate checks the structural invariants the scoring engine assumes:
+// consistent section lengths, monotonic CSR offsets, term IDs inside the
+// vocabulary, document indices inside the database, and sorted unique
+// per-document term sets. An index that passes cannot make the engine
+// read out of bounds.
+func (idx *Index) validate(docs int) error {
+	vocabLen := len(idx.Terms)
+	switch {
+	case len(idx.DocOff) != docs+1:
+		return fmt.Errorf("%w: %d doc offsets for %d docs", ErrBadIndex, len(idx.DocOff), docs)
+	case len(idx.HasRaw) != docs:
+		return fmt.Errorf("%w: %d hasRaw flags for %d docs", ErrBadIndex, len(idx.HasRaw), docs)
+	case len(idx.PostOff) != vocabLen+1:
+		return fmt.Errorf("%w: %d posting offsets for %d terms", ErrBadIndex, len(idx.PostOff), vocabLen)
+	case len(idx.PostDocs) != len(idx.PostPri):
+		return fmt.Errorf("%w: %d posting docs vs %d priorities", ErrBadIndex, len(idx.PostDocs), len(idx.PostPri))
+	case len(idx.DocTerms) != len(idx.PostDocs):
+		return fmt.Errorf("%w: %d doc terms vs %d postings", ErrBadIndex, len(idx.DocTerms), len(idx.PostDocs))
+	case len(idx.DocOff) > 0 && idx.DocOff[0] != 0,
+		len(idx.PostOff) > 0 && idx.PostOff[0] != 0:
+		return fmt.Errorf("%w: nonzero leading offset", ErrBadIndex)
+	case len(idx.DocOff) > 0 && int(idx.DocOff[docs]) != len(idx.DocTerms):
+		return fmt.Errorf("%w: doc offsets end at %d, want %d", ErrBadIndex, idx.DocOff[docs], len(idx.DocTerms))
+	case len(idx.PostOff) > 0 && int(idx.PostOff[vocabLen]) != len(idx.PostDocs):
+		return fmt.Errorf("%w: posting offsets end at %d, want %d", ErrBadIndex, idx.PostOff[vocabLen], len(idx.PostDocs))
+	}
+	for d := 0; d < docs; d++ {
+		lo, hi := idx.DocOff[d], idx.DocOff[d+1]
+		if lo > hi {
+			return fmt.Errorf("%w: doc %d offsets decrease", ErrBadIndex, d)
+		}
+		for i := lo; i < hi; i++ {
+			if int(idx.DocTerms[i]) >= vocabLen {
+				return fmt.Errorf("%w: doc %d references term %d beyond vocabulary %d", ErrBadIndex, d, idx.DocTerms[i], vocabLen)
+			}
+			if i > lo && idx.DocTerms[i] <= idx.DocTerms[i-1] {
+				return fmt.Errorf("%w: doc %d term set not sorted unique", ErrBadIndex, d)
+			}
+		}
+	}
+	for t := 0; t < vocabLen; t++ {
+		lo, hi := idx.PostOff[t], idx.PostOff[t+1]
+		if lo > hi {
+			return fmt.Errorf("%w: term %d posting offsets decrease", ErrBadIndex, t)
+		}
+		for i := lo; i < hi; i++ {
+			if int(idx.PostDocs[i]) >= docs || idx.PostDocs[i] < 0 {
+				return fmt.Errorf("%w: term %d posts document %d outside db of %d", ErrBadIndex, t, idx.PostDocs[i], docs)
+			}
+			if i > lo && idx.PostDocs[i] <= idx.PostDocs[i-1] {
+				return fmt.Errorf("%w: term %d posting list not ascending", ErrBadIndex, t)
+			}
+			if idx.PostPri[i] < 1 {
+				return fmt.Errorf("%w: term %d has non-positive priority %d", ErrBadIndex, t, idx.PostPri[i])
+			}
+		}
+	}
+	return nil
+}
+
+// adopt wires a built/validated index into the matcher.
+func (m *Matcher) adopt(idx *Index, vocab *textutil.Interner) {
+	m.vocab = vocab
+	m.docTerms = idx.DocTerms
+	m.docOff = idx.DocOff
+	m.hasRaw = idx.HasRaw
+	m.postDocs = idx.PostDocs
+	m.postPri = idx.PostPri
+	m.postOff = idx.PostOff
+	n := m.db.Len()
 	m.arenas.New = func() any {
 		m.poolMisses.Add(1)
 		return newArena(n)
 	}
+}
+
+// New preprocesses every description in db and builds the interned
+// vocabulary, document ID sets and posting lists.
+func New(db *usda.DB, opts Options) *Matcher {
+	m := &Matcher{db: db, opts: opts}
+	idx, vocab := buildIndex(db)
+	m.adopt(idx, vocab)
 	return m
+}
+
+// NewFromIndex builds a Matcher over db adopting a prebuilt index (a
+// deserialized baked image) instead of re-normalizing and re-interning
+// every description. The index is structurally validated — offsets
+// monotone, IDs in range — so a corrupt image yields ErrBadIndex, never
+// an out-of-bounds panic at query time. The caller must not mutate idx
+// after the call; the matcher aliases its slices.
+func NewFromIndex(db *usda.DB, opts Options, idx *Index) (*Matcher, error) {
+	if db == nil || idx == nil {
+		return nil, fmt.Errorf("%w: nil database or index", ErrBadIndex)
+	}
+	if err := idx.validate(db.Len()); err != nil {
+		return nil, err
+	}
+	m := &Matcher{db: db, opts: opts}
+	m.adopt(idx, textutil.NewInternerFromTerms(idx.Terms))
+	return m, nil
 }
 
 // NewDefault builds a Matcher with the paper's configuration.

@@ -33,6 +33,7 @@ package memo
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultShards is the shard count used by New. 16 keeps per-shard
@@ -66,6 +67,12 @@ func (s Stats) HitRate() float64 {
 type Cache[V any] struct {
 	shards []shard[V]
 	mask   uint64 // len(shards) - 1; shard count is a power of two
+
+	// gen is the purge generation: bumped by Purge BEFORE any shard is
+	// cleared. A writer that snapshots Gen before computing a value and
+	// stores with PutHashGen can never resurrect a pre-purge value past
+	// the purge — see PutHashGen for the ordering argument.
+	gen atomic.Uint64
 }
 
 // entry is an intrusive doubly-linked LRU list node. head is
@@ -257,6 +264,48 @@ func (c *Cache[V]) PutHash(h uint64, key string, val V) {
 	s.mu.Unlock()
 }
 
+// Gen returns the current purge generation. Writers that compute
+// values from purge-invalidated state (core's estimation results
+// depend on the live DB snapshot and unit statistics) snapshot this
+// BEFORE reading that state, then store with PutHashGen — the pair
+// makes "compute under old state, store after the purge" impossible.
+func (c *Cache[V]) Gen() uint64 { return c.gen.Load() }
+
+// PutHashGen is PutHash conditional on the purge generation: the store
+// is dropped when gen no longer matches. The check runs under the
+// shard lock, so exactly two interleavings with a concurrent Purge
+// exist — the put observes the bumped generation and drops (Purge
+// bumps before clearing), or the put lands before the purge acquires
+// this shard's lock and is cleared by it. A stale value therefore
+// never outlives the Purge that invalidated it.
+func (c *Cache[V]) PutHashGen(h uint64, key string, val V, gen uint64) {
+	s := &c.shards[h&c.mask]
+	if s.capacity <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if c.gen.Load() != gen {
+		s.mu.Unlock()
+		return
+	}
+	if e, ok := s.m[key]; ok {
+		e.val = val
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.capacity {
+		old := s.tail
+		s.unlink(old)
+		delete(s.m, old.key)
+		s.evictions++
+	}
+	e := &entry[V]{key: key, val: val}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
 // Len returns the current entry count across all shards.
 func (c *Cache[V]) Len() int {
 	n := 0
@@ -270,8 +319,11 @@ func (c *Cache[V]) Len() int {
 }
 
 // Purge drops every cached entry. Counters are preserved; Stats after a
-// Purge still reports lifetime hits/misses/evictions.
+// Purge still reports lifetime hits/misses/evictions. The generation
+// bump strictly precedes the first shard clear — the ordering
+// PutHashGen's no-resurrection guarantee rests on.
 func (c *Cache[V]) Purge() {
+	c.gen.Add(1)
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

@@ -257,6 +257,7 @@ type StatsResponse struct {
 	Shard   core.ShardStats      `json:"shard"`
 	Scratch pipeline.PoolStats   `json:"scratch_pool"`
 	Matcher match.MatcherStats   `json:"matcher"`
+	DB      core.SnapshotStats   `json:"db"`
 	HTTP    metrics.Snapshot     `json:"http"`
 	Runtime metrics.RuntimeStats `json:"runtime"`
 }
@@ -268,6 +269,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out.Shard = s.est.ShardStats()
 	out.Scratch = pipeline.Stats()
 	out.Matcher = s.est.MatcherStats()
+	out.DB = s.est.SnapshotStats()
 	out.HTTP = s.reg.Snapshot()
 	out.Runtime = s.runtime.Sample()
 	w.Header().Set("Content-Type", "application/json")

@@ -54,6 +54,10 @@ type Config struct {
 	Workers int
 	// RetryAfter is the hint sent with 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// EnableReload exposes POST /admin/reload (loopback-only hot swap of
+	// the serving database from a baked image). Off by default: a
+	// process whose DB is baked into the binary has nothing to reload.
+	EnableReload bool
 	// AccessLog receives one structured line per request; nil disables
 	// access logging.
 	AccessLog *log.Logger
@@ -128,6 +132,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/recipe", s.instrument("/v1/recipe", true, s.handleRecipe))
 	mux.Handle("GET /v1/healthz", s.instrument("/v1/healthz", false, s.handleHealthz))
 	mux.Handle("GET /v1/stats", s.instrument("/v1/stats", false, s.handleStats))
+	if s.cfg.EnableReload {
+		// Unadmitted: a reload must go through exactly when the pipeline
+		// is saturated, and it holds no estimation capacity.
+		mux.Handle("POST /admin/reload", s.instrument("/admin/reload", false, s.handleReload))
+	}
 	return mux
 }
 

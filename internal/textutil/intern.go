@@ -33,6 +33,23 @@ func (in *Interner) Intern(term string) uint32 {
 	return id
 }
 
+// NewInternerFromTerms rebuilds an interner from a previously assigned
+// vocabulary: terms[i] gets ID i, exactly the state an interner that
+// produced Terms() == terms would hold. Used by the baked-index loader
+// to reconstitute a matcher's vocabulary without re-interning (the term
+// strings are typically substrings of one image-backed blob, so the
+// only allocation is the presized map).
+func NewInternerFromTerms(terms []string) *Interner {
+	in := &Interner{
+		ids:   make(map[string]uint32, len(terms)),
+		terms: terms,
+	}
+	for i, t := range terms {
+		in.ids[t] = uint32(i)
+	}
+	return in
+}
+
 // Lookup returns the ID for term without assigning one.
 func (in *Interner) Lookup(term string) (uint32, bool) {
 	id, ok := in.ids[term]

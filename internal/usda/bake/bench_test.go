@@ -1,0 +1,68 @@
+package bake
+
+import (
+	"bytes"
+	"testing"
+
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/usda"
+	"nutriprofile/internal/usda/sr"
+)
+
+// benchDB is the real-scale corpus: the seed plus enough synthetic
+// foods to reach SR26's ~7,700-food footprint.
+func benchDB(tb testing.TB) *usda.DB {
+	db := usda.Merged(7500, 1)
+	if db.Len() < 7500 {
+		tb.Fatalf("bench DB has %d foods", db.Len())
+	}
+	return db
+}
+
+// BenchmarkLoadBaked measures the startup path nutriserve -db takes:
+// decode a baked image and stand up a matcher on its prebuilt index.
+// The image bytes are in memory, so the comparison against
+// BenchmarkLoadParse isolates decode-and-index cost from disk I/O.
+func BenchmarkLoadBaked(b *testing.B) {
+	db := benchDB(b)
+	img, err := BakeBytes(db, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ld, err := Load(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := match.NewFromIndex(ld.DB, match.DefaultOptions(), ld.Index); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadParse measures the same food count through the SR26
+// text path: parse the three tables and build the matcher index from
+// scratch — what startup costs without a baked image.
+func BenchmarkLoadParse(b *testing.B) {
+	db := benchDB(b)
+	var fd, nd, wt bytes.Buffer
+	if err := sr.Write(&fd, &nd, &wt, db); err != nil {
+		b.Fatal(err)
+	}
+	fdb, ndb, wtb := fd.Bytes(), nd.Bytes(), wt.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsed, _, err := sr.Parse(sr.Files{
+			FoodDes: bytes.NewReader(fdb),
+			NutData: bytes.NewReader(ndb),
+			Weight:  bytes.NewReader(wtb),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = match.NewDefault(parsed)
+	}
+}

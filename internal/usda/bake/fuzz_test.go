@@ -1,0 +1,36 @@
+package bake
+
+import (
+	"errors"
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// FuzzLoad enforces the loader contract: arbitrary bytes — including
+// bit-flipped, truncated and re-sealed valid images — never panic, and
+// every failure wraps exactly one of the load sentinels.
+func FuzzLoad(f *testing.F) {
+	img, err := BakeBytes(usda.Seed(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:headerSize])
+	f.Add([]byte("NPBK"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ld, err := Load(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unstructured error: %v", err)
+			}
+			return
+		}
+		if ld == nil || ld.DB == nil || ld.Index == nil {
+			t.Fatal("nil Loaded fields without error")
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package bake
+
+// Image decoding. The hot property is that load cost does not scale
+// with food count: on a little-endian host every numeric section is an
+// unsafe.Slice view into the image buffer and every string an
+// unsafe.String view into the blob, so the only O(n) work is filling
+// the flat Food/Weight arrays from the column views and presizing the
+// NDB map — no parsing, no unit normalization, no re-interning, no
+// re-indexing. Misaligned or big-endian hosts transparently take a
+// copying path with identical results.
+//
+// Everything returned by Load aliases the image buffer; callers must
+// treat the buffer as immutable for the lifetime of the returned DB
+// and Index (LoadFile owns its buffer privately, so this only concerns
+// direct Load callers).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"unsafe"
+
+	"nutriprofile/internal/match"
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/usda"
+)
+
+// hostLittle reports whether the host is little-endian — the image's
+// byte order, and the precondition for the slice-cast fast path.
+var hostLittle = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// Loaded is a decoded image: the database, the matcher index, and the
+// image identity (size + checksum) for observability.
+type Loaded struct {
+	DB    *usda.DB
+	Index *match.Index
+	Bytes int    // image size in bytes
+	CRC   uint32 // payload CRC-32C, the image's content identity
+}
+
+// cursor walks the payload sections in their fixed order.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+// take reserves n bytes (plus padding to 8) and returns their offset.
+func (c *cursor) take(n int) (int, error) {
+	if n < 0 || n > len(c.buf)-c.off {
+		return 0, fmt.Errorf("%w: section of %d bytes at offset %d", ErrTruncated, n, c.off)
+	}
+	off := c.off
+	c.off += n
+	if rem := c.off % 8; rem != 0 {
+		pad := 8 - rem
+		if pad > len(c.buf)-c.off {
+			return 0, fmt.Errorf("%w: missing section padding at offset %d", ErrTruncated, c.off)
+		}
+		c.off += pad
+	}
+	return off, nil
+}
+
+// aligned reports whether buf[off] can back a direct []T view.
+func aligned(buf []byte, off int, align uintptr) bool {
+	return uintptr(unsafe.Pointer(&buf[off]))%align == 0
+}
+
+// count validates a counts-block entry against the address space.
+func count(v uint64) (int, error) {
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: implausible element count %d", ErrCorrupt, v)
+	}
+	return int(v), nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	off, err := c.take(n)
+	if err != nil {
+		return nil, err
+	}
+	return c.buf[off : off+n : off+n], nil
+}
+
+func (c *cursor) uint64s(n int) ([]uint64, error) {
+	off, err := c.take(n * 8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittle && aligned(c.buf, off, unsafe.Alignof(uint64(0))) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&c.buf[off])), n), nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(c.buf[off+8*i:])
+	}
+	return out, nil
+}
+
+func (c *cursor) uint32s(n int) ([]uint32, error) {
+	off, err := c.take(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittle && aligned(c.buf, off, unsafe.Alignof(uint32(0))) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&c.buf[off])), n), nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(c.buf[off+4*i:])
+	}
+	return out, nil
+}
+
+func (c *cursor) int32s(n int) ([]int32, error) {
+	us, err := c.uint32s(n)
+	if err != nil || us == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&us[0])), n), nil
+}
+
+func (c *cursor) float64s(n int) ([]float64, error) {
+	us, err := c.uint64s(n)
+	if err != nil || us == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&us[0])), n), nil
+}
+
+// blobString views (off, ln) into the blob; zero-length strings avoid
+// touching the blob so empty blobs stay valid.
+func blobString(blob []byte, off, ln uint32) (string, error) {
+	if uint64(off)+uint64(ln) > uint64(len(blob)) {
+		return "", fmt.Errorf("%w: string (%d,%d) beyond blob of %d bytes", ErrCorrupt, off, ln, len(blob))
+	}
+	if ln == 0 {
+		return "", nil
+	}
+	return unsafe.String(&blob[off], int(ln)), nil
+}
+
+// Load decodes an image. data must stay immutable while the returned
+// DB/Index are in use (strings and numeric sections alias it).
+func Load(data []byte) (*Loaded, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, header is %d", ErrTruncated, len(data), headerSize)
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadMagic, data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
+		return nil, fmt.Errorf("%w: image version %d, loader supports %d", ErrVersion, v, Version)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:])
+	if payloadLen != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: header claims %d payload bytes, file carries %d", ErrTruncated, payloadLen, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	wantCRC := binary.LittleEndian.Uint32(data[16:])
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("%w: crc32c %08x, header says %08x", ErrChecksum, got, wantCRC)
+	}
+
+	c := &cursor{buf: payload}
+	counts, err := c.uint64s(countsLen)
+	if err != nil {
+		return nil, err
+	}
+	nFoods, err := count(counts[0])
+	if err != nil {
+		return nil, err
+	}
+	nWeights, err := count(counts[1])
+	if err != nil {
+		return nil, err
+	}
+	nTerms, err := count(counts[2])
+	if err != nil {
+		return nil, err
+	}
+	nDocTerms, err := count(counts[3])
+	if err != nil {
+		return nil, err
+	}
+	nPostings, err := count(counts[4])
+	if err != nil {
+		return nil, err
+	}
+	blobLen, err := count(counts[5])
+	if err != nil {
+		return nil, err
+	}
+
+	// Sections, mirroring the bake order exactly.
+	foodNDB, err := c.int32s(nFoods)
+	if err != nil {
+		return nil, err
+	}
+	descOff, err := c.uint32s(nFoods)
+	if err != nil {
+		return nil, err
+	}
+	descLen, err := c.uint32s(nFoods)
+	if err != nil {
+		return nil, err
+	}
+	nutrients, err := c.float64s(nFoods * 11)
+	if err != nil {
+		return nil, err
+	}
+	weightCount, err := c.uint32s(nFoods)
+	if err != nil {
+		return nil, err
+	}
+	wSeq, err := c.int32s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wAmount, err := c.float64s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wGrams, err := c.float64s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wUnitOff, err := c.uint32s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wUnitLen, err := c.uint32s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wCanonOff, err := c.uint32s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wCanonLen, err := c.uint32s(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	wKnown, err := c.bytes(nWeights)
+	if err != nil {
+		return nil, err
+	}
+	termOff, err := c.uint32s(nTerms)
+	if err != nil {
+		return nil, err
+	}
+	termLen, err := c.uint32s(nTerms)
+	if err != nil {
+		return nil, err
+	}
+	docTerms, err := c.uint32s(nDocTerms)
+	if err != nil {
+		return nil, err
+	}
+	docOff, err := c.int32s(nFoods + 1)
+	if err != nil {
+		return nil, err
+	}
+	hasRawBytes, err := c.bytes(nFoods)
+	if err != nil {
+		return nil, err
+	}
+	postDocs, err := c.int32s(nPostings)
+	if err != nil {
+		return nil, err
+	}
+	postPri, err := c.int32s(nPostings)
+	if err != nil {
+		return nil, err
+	}
+	postOff, err := c.int32s(nTerms + 1)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := c.bytes(blobLen)
+	if err != nil {
+		return nil, err
+	}
+	if c.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-c.off)
+	}
+
+	// Assemble the database: flat backing arrays, subsliced per food.
+	weightSum := 0
+	for _, wc := range weightCount {
+		weightSum += int(wc)
+		if weightSum > nWeights {
+			return nil, fmt.Errorf("%w: weight counts exceed %d rows", ErrCorrupt, nWeights)
+		}
+	}
+	if weightSum != nWeights {
+		return nil, fmt.Errorf("%w: weight counts sum to %d, image carries %d rows", ErrCorrupt, weightSum, nWeights)
+	}
+	weights := make([]usda.Weight, nWeights)
+	canon := make([]usda.BakedUnit, nWeights)
+	for i := range weights {
+		unit, err := blobString(blob, wUnitOff[i], wUnitLen[i])
+		if err != nil {
+			return nil, err
+		}
+		cname, err := blobString(blob, wCanonOff[i], wCanonLen[i])
+		if err != nil {
+			return nil, err
+		}
+		weights[i] = usda.Weight{
+			Seq: int(wSeq[i]), Amount: wAmount[i], Unit: unit, Grams: wGrams[i],
+		}
+		canon[i] = usda.BakedUnit{Name: cname, Known: wKnown[i] != 0}
+	}
+	foods := make([]usda.Food, nFoods)
+	woff := 0
+	for i := range foods {
+		desc, err := blobString(blob, descOff[i], descLen[i])
+		if err != nil {
+			return nil, err
+		}
+		nv := nutrients[i*11 : i*11+11]
+		wn := int(weightCount[i])
+		foods[i] = usda.Food{
+			NDB:  int(foodNDB[i]),
+			Desc: desc,
+			Per100g: nutrition.Profile{
+				EnergyKcal: nv[0], ProteinG: nv[1], FatG: nv[2], CarbsG: nv[3],
+				FiberG: nv[4], SugarG: nv[5], CalciumMg: nv[6], IronMg: nv[7],
+				SodiumMg: nv[8], VitCMg: nv[9], CholMg: nv[10],
+			},
+			Weights: weights[woff : woff+wn : woff+wn],
+		}
+		woff += wn
+	}
+	db, err := usda.AssembleBaked(foods, canon)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	terms := make([]string, nTerms)
+	for t := range terms {
+		if terms[t], err = blobString(blob, termOff[t], termLen[t]); err != nil {
+			return nil, err
+		}
+	}
+	hasRaw := make([]bool, nFoods)
+	for i, b := range hasRawBytes {
+		hasRaw[i] = b != 0
+	}
+	idx := &match.Index{
+		Terms:    terms,
+		DocTerms: docTerms,
+		DocOff:   docOff,
+		HasRaw:   hasRaw,
+		PostDocs: postDocs,
+		PostPri:  postPri,
+		PostOff:  postOff,
+	}
+	return &Loaded{DB: db, Index: idx, Bytes: len(data), CRC: wantCRC}, nil
+}
+
+// LoadFile reads and decodes an image file.
+func LoadFile(path string) (*Loaded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Load(data)
+}

@@ -1,0 +1,75 @@
+package usda
+
+// Trusted fast-path construction for the baked-image loader
+// (internal/usda/bake). NewDB re-normalizes every weight row's unit
+// spelling and re-sorts the food list — exactly the per-food work a
+// baked image exists to skip, since the bake step already ran it
+// offline and serialized the results. AssembleBaked adopts prebuilt
+// foods plus a flat canonical-unit array, validating only the cheap
+// structural invariants (NDB order, row counts); semantic validation
+// happened when the image was baked from a NewDB-vetted database.
+
+import (
+	"fmt"
+)
+
+// BakedUnit is one precomputed canonical unit resolution, the exported
+// counterpart of the weightUnit cache NewDB fills via units.Normalize.
+type BakedUnit struct {
+	Name  string
+	Known bool
+}
+
+// AssembleBaked builds a DB from prebuilt foods and their canonical
+// unit resolutions without re-normalizing or re-sorting. foods must be
+// sorted by strictly ascending NDB (the image stores NDB order), with
+// unit cache entries for every weight row of every food concatenated in
+// canon, food-major. The foods' unitCache fields are overwritten with
+// subslices of canon — one backing array for the whole database.
+func AssembleBaked(foods []Food, canon []BakedUnit) (*DB, error) {
+	cache := make([]weightUnit, len(canon))
+	for i, u := range canon {
+		cache[i] = weightUnit{name: u.Name, known: u.Known}
+	}
+	byNDB := make(map[int]int, len(foods))
+	off := 0
+	for i := range foods {
+		f := &foods[i]
+		if f.NDB <= 0 {
+			return nil, fmt.Errorf("%w: NDB %d", ErrBadFood, f.NDB)
+		}
+		if i > 0 && f.NDB <= foods[i-1].NDB {
+			return nil, fmt.Errorf("%w: NDB %d out of order after %d", ErrBadFood, f.NDB, foods[i-1].NDB)
+		}
+		if off+len(f.Weights) > len(cache) {
+			return nil, fmt.Errorf("%w: unit cache exhausted at NDB %d", ErrBadFood, f.NDB)
+		}
+		if len(f.Weights) > 0 {
+			f.unitCache = cache[off : off+len(f.Weights) : off+len(f.Weights)]
+		} else {
+			f.unitCache = nil
+		}
+		off += len(f.Weights)
+		byNDB[f.NDB] = i
+	}
+	if off != len(cache) {
+		return nil, fmt.Errorf("%w: %d unit cache entries for %d weight rows", ErrBadFood, len(cache), off)
+	}
+	return &DB{foods: foods, byNDB: byNDB}, nil
+}
+
+// CanonicalUnits returns the database's precomputed unit resolutions,
+// food-major, one entry per weight row — the canon array AssembleBaked
+// accepts. cmd/dbbake serializes this alongside the foods so the loader
+// never calls units.Normalize.
+func (db *DB) CanonicalUnits() []BakedUnit {
+	var out []BakedUnit
+	for i := range db.foods {
+		f := &db.foods[i]
+		for j := range f.Weights {
+			name, known := f.WeightUnit(j)
+			out = append(out, BakedUnit{Name: name, Known: known})
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package sr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nutriprofile/internal/usda"
+)
+
+// FuzzParse enforces the package contract: arbitrary table bytes never
+// panic the parser, and every failure surfaces as a *ParseError (or a
+// NewDB validation error for semantically invalid but well-formed
+// tables).
+func FuzzParse(f *testing.F) {
+	f.Add(
+		"~01001~^~0100~^~Butter~^~BUTTER~"+foodDesTail+"\r\n",
+		"~01001~^~208~^717"+nutDataTail+"\r\n",
+		"~01001~^~1~^1^~cup~^227^^\r\n",
+	)
+	f.Add("~01001~^~0100~^~Cr\xe8me~^~C~"+foodDesTail+"\n", "", "")
+	f.Add("~unterminated\r\n", "", "")
+	f.Add("a~b^c\r\n", "~~x^\r\n", "^^^^^^^^^\r\n")
+	f.Add("", "~01001~^~208~^717"+nutDataTail+"\r\n", "")
+	f.Add("~01001~^~0100~^~B~^~B~"+foodDesTail+"\r\n", "~01001~^~208~^NaN"+nutDataTail+"\r\n", "")
+	f.Fuzz(func(t *testing.T, fd, nd, wt string) {
+		db, rep, err := Parse(Files{
+			FoodDes: strings.NewReader(fd),
+			NutData: strings.NewReader(nd),
+			Weight:  strings.NewReader(wt),
+		})
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) &&
+				!errors.Is(err, usda.ErrBadFood) && !errors.Is(err, usda.ErrDuplicateNDB) {
+				t.Fatalf("unstructured error %T: %v", err, err)
+			}
+			return
+		}
+		if db == nil || rep == nil {
+			t.Fatal("nil db/report without error")
+		}
+	})
+}

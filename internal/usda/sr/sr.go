@@ -1,0 +1,449 @@
+// Package sr parses the genuine USDA Standard Reference release 26
+// (SR26) ASCII distribution format into the in-memory database model
+// (internal/usda), so the pipeline can run against the real ~7,700-food
+// table instead of the curated seed.
+//
+// The format (per the SR26 documentation and the supershake exemplar
+// referenced in ROADMAP.md):
+//
+//   - one record per line, fields separated by `^`
+//   - text fields surrounded by `~` tildes; a `^` inside a quoted field
+//     is field content, not a separator (there is no escape — a quoted
+//     field cannot contain `~`)
+//   - numeric fields are bare and may be blank
+//   - lines end in CRLF; the encoding is ISO-8859-1 (Latin-1)
+//
+// The three tables the pipeline needs are FOOD_DES.txt (food
+// descriptions, 14 fields), NUT_DATA.txt (nutrient values, 18 fields)
+// and WEIGHT.txt (household measures, 5–7 fields). Of SR's ~150 tracked
+// nutrient numbers, the 11 the nutrition.Profile vector carries are
+// mapped; the rest are counted and skipped.
+//
+// Parsing never panics on malformed input: every failure is a
+// *ParseError locating the file and line, wrapping one of the sentinel
+// errors below (the fuzz harness enforces this).
+package sr
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"nutriprofile/internal/nutrition"
+	"nutriprofile/internal/usda"
+)
+
+// Sentinel parse failures; every returned error wraps exactly one of
+// these inside a *ParseError.
+var (
+	// ErrFieldCount: a record has the wrong number of fields for its
+	// table (truncated or over-long line).
+	ErrFieldCount = errors.New("sr: wrong field count")
+	// ErrUnterminatedQuote: a `~`-quoted field never closes.
+	ErrUnterminatedQuote = errors.New("sr: unterminated quoted field")
+	// ErrQuoteJunk: a stray `~` inside an unquoted field, or text
+	// between a closing `~` and the next separator.
+	ErrQuoteJunk = errors.New("sr: malformed quoting")
+	// ErrBadNumber: a numeric field is unparseable, non-finite, or
+	// negative where the schema requires a non-negative value.
+	ErrBadNumber = errors.New("sr: bad numeric field")
+	// ErrUnknownNDB: a NUT_DATA/WEIGHT record references an NDB number
+	// absent from FOOD_DES.
+	ErrUnknownNDB = errors.New("sr: unknown NDB number")
+	// ErrDuplicate: FOOD_DES repeats an NDB number.
+	ErrDuplicate = errors.New("sr: duplicate NDB number")
+)
+
+// ParseError locates a parse failure: which table file, which 1-based
+// line, and the underlying sentinel (with detail).
+type ParseError struct {
+	File string
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %v", e.File, e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Report summarizes one parse: what was ingested and what was skipped
+// (skips are data-quality holes in SR itself, not format errors).
+type Report struct {
+	Foods            int // FOOD_DES records parsed
+	NutrientRows     int // NUT_DATA records mapped into a profile field
+	UnknownNutrients int // NUT_DATA records for nutrient numbers we don't track
+	WeightRows       int // WEIGHT records adopted
+	SkippedWeights   int // WEIGHT records with zero amount/grams or empty measure
+}
+
+// Files names the three SR26 table streams.
+type Files struct {
+	FoodDes io.Reader // FOOD_DES.txt
+	NutData io.Reader // NUT_DATA.txt
+	Weight  io.Reader // WEIGHT.txt
+}
+
+// Field counts of the SR26 tables.
+const (
+	foodDesFields = 14 // NDB_No, FdGrp_Cd, Long_Desc, Shrt_Desc, ComName, ManufacName, Survey, Ref_desc, Refuse, SciName, N_Factor, Pro_Factor, Fat_Factor, CHO_Factor
+	nutDataFields = 18 // NDB_No, Nutr_No, Nutr_Val, Num_Data_Pts, Std_Error, Src_Cd, Deriv_Cd, Ref_NDB_No, Add_Nutr_Mark, Num_Studies, Min, Max, DF, Low_EB, Up_EB, Stat_cmt, AddMod_Date, CC
+	weightMinFlds = 5  // NDB_No, Seq, Amount, Msre_Desc, Gm_Wgt
+	weightMaxFlds = 7  // … plus optional Num_Data_Pts, Std_Dev
+)
+
+// nutrientField maps an SR nutrient number to its index in the
+// nutrition.Profile field order (the same order the CSV codec and the
+// baked image use). Unmapped numbers return -1.
+func nutrientField(nutrNo int) int {
+	switch nutrNo {
+	case 208: // Energy (kcal)
+		return 0
+	case 203: // Protein (g)
+		return 1
+	case 204: // Total lipid (g)
+		return 2
+	case 205: // Carbohydrate, by difference (g)
+		return 3
+	case 291: // Fiber, total dietary (g)
+		return 4
+	case 269: // Sugars, total (g)
+		return 5
+	case 301: // Calcium (mg)
+		return 6
+	case 303: // Iron (mg)
+		return 7
+	case 307: // Sodium (mg)
+		return 8
+	case 401: // Vitamin C (mg)
+		return 9
+	case 601: // Cholesterol (mg)
+		return 10
+	default:
+		return -1
+	}
+}
+
+// profileFromVals assembles a Profile from the 11-element value vector
+// in nutrientField order.
+func profileFromVals(v [11]float64) nutrition.Profile {
+	return nutrition.Profile{
+		EnergyKcal: v[0], ProteinG: v[1], FatG: v[2], CarbsG: v[3],
+		FiberG: v[4], SugarG: v[5], CalciumMg: v[6], IronMg: v[7],
+		SodiumMg: v[8], VitCMg: v[9], CholMg: v[10],
+	}
+}
+
+// splitFields splits one record line on `^` separators, honoring
+// `~`-quoting: a quoted field's content runs to the next `~` and may
+// contain `^`. Fields are appended to dst[:0] (reused across lines).
+func splitFields(line string, dst []string) ([]string, error) {
+	dst = dst[:0]
+	i, n := 0, len(line)
+	for {
+		if i < n && line[i] == '~' {
+			rel := strings.IndexByte(line[i+1:], '~')
+			if rel < 0 {
+				return dst, ErrUnterminatedQuote
+			}
+			end := i + 1 + rel
+			dst = append(dst, line[i+1:end])
+			i = end + 1
+			if i >= n {
+				return dst, nil
+			}
+			if line[i] != '^' {
+				return dst, fmt.Errorf("%w: text after closing quote", ErrQuoteJunk)
+			}
+			i++
+			continue
+		}
+		rest := line[i:]
+		j := strings.IndexByte(rest, '^')
+		f := rest
+		if j >= 0 {
+			f = rest[:j]
+		}
+		if strings.IndexByte(f, '~') >= 0 {
+			return dst, fmt.Errorf("%w: stray quote inside unquoted field", ErrQuoteJunk)
+		}
+		dst = append(dst, f)
+		if j < 0 {
+			return dst, nil
+		}
+		i += j + 1
+	}
+}
+
+// latin1 transcodes an ISO-8859-1 field to UTF-8. Pure-ASCII fields
+// (the overwhelming majority) are returned unchanged.
+func latin1(s string) string {
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		b.WriteRune(rune(s[i]))
+	}
+	return b.String()
+}
+
+// parseNDB parses the zero-padded 5-digit NDB number.
+func parseNDB(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("%w: empty NDB number", ErrBadNumber)
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("%w: NDB number %q", ErrBadNumber, s)
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("%w: NDB number %q", ErrBadNumber, s)
+	}
+	return n, nil
+}
+
+// parseNonNeg parses a required non-negative finite float field.
+func parseNonNeg(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrBadNumber, s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("%w: %q is not a finite non-negative value", ErrBadNumber, s)
+	}
+	return v, nil
+}
+
+// lineScanner iterates records: one per line, trailing CR stripped
+// (CRLF terminators), blank lines skipped.
+type lineScanner struct {
+	sc   *bufio.Scanner
+	file string
+	line int
+}
+
+func newLineScanner(r io.Reader, file string) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &lineScanner{sc: sc, file: file}
+}
+
+// next returns the next non-blank record, false at EOF.
+func (ls *lineScanner) next() (string, bool, error) {
+	for ls.sc.Scan() {
+		ls.line++
+		line := strings.TrimSuffix(ls.sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		return line, true, nil
+	}
+	if err := ls.sc.Err(); err != nil {
+		return "", false, &ParseError{File: ls.file, Line: ls.line + 1, Err: err}
+	}
+	return "", false, nil
+}
+
+func (ls *lineScanner) fail(err error) error {
+	return &ParseError{File: ls.file, Line: ls.line, Err: err}
+}
+
+// food accumulates one FOOD_DES record and its joined rows.
+type food struct {
+	ndb     int
+	desc    string
+	vals    [11]float64
+	weights []usda.Weight
+}
+
+// Parse reads the three SR26 tables and assembles the database. The
+// returned Report counts ingested and skipped rows; on error both
+// return values are nil and the error is a *ParseError (or a
+// usda.NewDB validation error for semantic failures like an empty
+// description).
+func Parse(files Files) (*usda.DB, *Report, error) {
+	rep := &Report{}
+	var foods []food
+	byNDB := map[int]int{}
+
+	// FOOD_DES.txt — one food per record.
+	ls := newLineScanner(files.FoodDes, "FOOD_DES.txt")
+	var fields []string
+	for {
+		line, ok, err := ls.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		fields, err = splitFields(line, fields)
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		if len(fields) != foodDesFields {
+			return nil, nil, ls.fail(fmt.Errorf("%w: %d fields, want %d", ErrFieldCount, len(fields), foodDesFields))
+		}
+		ndb, err := parseNDB(fields[0])
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		if _, dup := byNDB[ndb]; dup {
+			return nil, nil, ls.fail(fmt.Errorf("%w: %05d", ErrDuplicate, ndb))
+		}
+		byNDB[ndb] = len(foods)
+		foods = append(foods, food{ndb: ndb, desc: latin1(fields[2])})
+		rep.Foods++
+	}
+
+	// NUT_DATA.txt — nutrient values joined on NDB_No.
+	ls = newLineScanner(files.NutData, "NUT_DATA.txt")
+	for {
+		line, ok, err := ls.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		fields, err = splitFields(line, fields)
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		if len(fields) != nutDataFields {
+			return nil, nil, ls.fail(fmt.Errorf("%w: %d fields, want %d", ErrFieldCount, len(fields), nutDataFields))
+		}
+		ndb, err := parseNDB(fields[0])
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		fi, ok := byNDB[ndb]
+		if !ok {
+			return nil, nil, ls.fail(fmt.Errorf("%w: %05d in NUT_DATA", ErrUnknownNDB, ndb))
+		}
+		nutrNo, err := parseNDB(fields[1]) // same digits-only shape as NDB numbers
+		if err != nil {
+			return nil, nil, ls.fail(fmt.Errorf("%w: nutrient number %q", ErrBadNumber, fields[1]))
+		}
+		slot := nutrientField(nutrNo)
+		if slot < 0 {
+			rep.UnknownNutrients++
+			continue
+		}
+		val, err := parseNonNeg(fields[2])
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		foods[fi].vals[slot] = val
+		rep.NutrientRows++
+	}
+
+	// WEIGHT.txt — household measures joined on NDB_No.
+	ls = newLineScanner(files.Weight, "WEIGHT.txt")
+	for {
+		line, ok, err := ls.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		fields, err = splitFields(line, fields)
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		if len(fields) < weightMinFlds || len(fields) > weightMaxFlds {
+			return nil, nil, ls.fail(fmt.Errorf("%w: %d fields, want %d–%d", ErrFieldCount, len(fields), weightMinFlds, weightMaxFlds))
+		}
+		ndb, err := parseNDB(fields[0])
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		fi, ok := byNDB[ndb]
+		if !ok {
+			return nil, nil, ls.fail(fmt.Errorf("%w: %05d in WEIGHT", ErrUnknownNDB, ndb))
+		}
+		seq, err := strconv.Atoi(fields[1])
+		if err != nil || seq < 0 {
+			return nil, nil, ls.fail(fmt.Errorf("%w: sequence %q", ErrBadNumber, fields[1]))
+		}
+		amount, err := parseNonNeg(fields[2])
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		grams, err := parseNonNeg(fields[4])
+		if err != nil {
+			return nil, nil, ls.fail(err)
+		}
+		measure := latin1(fields[3])
+		// SR carries a handful of rows NewDB's invariants reject (zero
+		// amounts or weights, blank measures). They contribute nothing
+		// to unit resolution, so they are skipped and counted rather
+		// than failing the whole release.
+		if amount <= 0 || grams <= 0 || measure == "" {
+			rep.SkippedWeights++
+			continue
+		}
+		foods[fi].weights = append(foods[fi].weights, usda.Weight{
+			Seq: seq, Amount: amount, Unit: measure, Grams: grams,
+		})
+		rep.WeightRows++
+	}
+
+	out := make([]usda.Food, len(foods))
+	for i, f := range foods {
+		out[i] = usda.Food{
+			NDB:     f.ndb,
+			Desc:    f.desc,
+			Per100g: profileFromVals(f.vals),
+			Weights: f.weights,
+		}
+	}
+	db, err := usda.NewDB(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, rep, nil
+}
+
+// ParseDir parses an SR26 distribution directory containing
+// FOOD_DES.txt, NUT_DATA.txt and WEIGHT.txt.
+func ParseDir(dir string) (*usda.DB, *Report, error) {
+	open := func(name string) (*os.File, error) {
+		return os.Open(filepath.Join(dir, name))
+	}
+	fd, err := open("FOOD_DES.txt")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer fd.Close()
+	nd, err := open("NUT_DATA.txt")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer nd.Close()
+	wt, err := open("WEIGHT.txt")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer wt.Close()
+	return Parse(Files{FoodDes: fd, NutData: nd, Weight: wt})
+}
