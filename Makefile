@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke bench-json cover-check serve-smoke
+.PHONY: all build vet test race bench experiments fuzz clean ci fmt-check bench-smoke bench-json cover-check serve-smoke load-smoke load-bench
 
 all: build vet test
 
@@ -68,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLoad -fuzztime 15s ./internal/usda/bake/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 15s -run xxx ./internal/server/
 	$(GO) test -fuzz FuzzRecipeHandler -fuzztime 15s -run xxx ./internal/server/
+	$(GO) test -fuzz FuzzBatchHandler -fuzztime 15s -run xxx ./internal/server/
 
 # Per-package coverage floors for the packages whose regressions hurt
 # most in production. The serving layer carries the pooled codec — every
@@ -75,6 +76,7 @@ fuzz:
 # higher than the core pipeline's.
 SERVER_COVER_FLOOR ?= 85
 CORE_COVER_FLOOR ?= 60
+METRICS_COVER_FLOOR ?= 80
 cover-check:
 	@set -e; check() { \
 		out=$$($(GO) test -cover $$1); echo "$$out"; \
@@ -86,7 +88,8 @@ cover-check:
 	}; \
 	check ./internal/server $(SERVER_COVER_FLOOR); \
 	check ./internal/core $(CORE_COVER_FLOOR); \
-	echo "cover-check: all floors met (server >= $(SERVER_COVER_FLOOR)%, core >= $(CORE_COVER_FLOOR)%)"
+	check ./internal/metrics $(METRICS_COVER_FLOOR); \
+	echo "cover-check: all floors met (server >= $(SERVER_COVER_FLOOR)%, core >= $(CORE_COVER_FLOOR)%, metrics >= $(METRICS_COVER_FLOOR)%)"
 
 # Bake two fixture images, boot nutriserve -db on the first, curl all
 # four routes, hot-swap to the second via /admin/reload, verify
@@ -122,6 +125,47 @@ serve-smoke:
 	trap - EXIT; \
 	rm -f /tmp/smoke-a.img /tmp/smoke-b.img; \
 	echo "serve-smoke: all routes OK, hot reload v1->v2 OK, SIGTERM drained cleanly"
+
+# Boot nutriserve and drive a small generated corpus through streaming
+# /v1/batch with interactive traffic mixed in, verifying zero lost/torn
+# lines, the /metrics counter deltas, and lenient SLO floors. Runs in CI
+# on every push; load-bench below is the paper-scale nightly version.
+LOAD_ADDR ?= 127.0.0.1:18081
+load-smoke:
+	@set -e; \
+	$(GO) build -o /tmp/nutriserve ./cmd/nutriserve; \
+	$(GO) build -o /tmp/loadgen ./cmd/loadgen; \
+	/tmp/nutriserve -addr $(LOAD_ADDR) -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(LOAD_ADDR)/v1/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "load-smoke: server never became healthy" >&2; exit 1; }; \
+	/tmp/loadgen -addr http://$(LOAD_ADDR) -recipes 500 -bulk 2 -interactive 4 \
+		-slo-p99 2s -min-rps 200 -max-shed-frac 0.5 -metrics-check; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "load-smoke: OK"
+
+# Nightly sustained-load gate: a larger corpus with production-shaped
+# floors. The floors are far below the ~13k recipes/s a single dev core
+# sustains so shared-runner noise cannot flake the job; a regression
+# that halves throughput still trips them.
+load-bench:
+	@set -e; \
+	$(GO) build -o /tmp/nutriserve ./cmd/nutriserve; \
+	$(GO) build -o /tmp/loadgen ./cmd/loadgen; \
+	/tmp/nutriserve -addr $(LOAD_ADDR) -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(LOAD_ADDR)/v1/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.1; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "load-bench: server never became healthy" >&2; exit 1; }; \
+	/tmp/loadgen -addr http://$(LOAD_ADDR) -recipes 30000 -bulk 4 -interactive 8 \
+		-slo-p99 500ms -min-rps 2000 -max-shed-frac 0.2 -metrics-check; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "load-bench: OK"
 
 clean:
 	$(GO) clean ./...

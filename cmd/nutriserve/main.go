@@ -6,8 +6,11 @@
 //	POST /v1/estimate  {"phrase": "2 cups flour"}           → per-phrase pipeline trace
 //	POST /v1/recipe    {"ingredients": [...], "servings": 4, "method": "baked"}
 //	                                                        → aggregated recipe profile
+//	POST /v1/batch     NDJSON stream of the two bodies above → one NDJSON
+//	                                                          response line per input line
 //	GET  /v1/healthz                                        → liveness probe
 //	GET  /v1/stats                                          → memo/matcher/HTTP counters
+//	GET  /metrics                                           → Prometheus text exposition
 //	POST /admin/reload {"path": "/data/new.img"}            → hot-swap the DB (with -db;
 //	                                                          loopback peers only)
 //
@@ -48,6 +51,9 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
 	workers := flag.Int("workers", 0, "ingredient worker pool per recipe (0: one per CPU)")
+	batchWindow := flag.Int("batch-window", 0, "NDJSON lines per /v1/batch pipeline window (0: default 64)")
+	batchWorkers := flag.Int("batch-workers", 0, "estimator workers per /v1/batch window (0: half the CPUs)")
+	maxBulkStreams := flag.Int("max-bulk-streams", 0, "concurrently open /v1/batch streams before shedding (0: max-in-flight/4)")
 	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
 	coalesce := flag.Bool("coalesce", true, "coalesce concurrent estimates of the same phrase onto one pipeline pass (no effect with -cache 0)")
 	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
@@ -91,6 +97,9 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		Workers:        *workers,
+		BatchWindow:    *batchWindow,
+		BatchWorkers:   *batchWorkers,
+		MaxBulkStreams: *maxBulkStreams,
 		RetryAfter:     *retryAfter,
 		EnableReload:   *dbImage != "",
 		AccessLog:      access,

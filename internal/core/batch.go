@@ -222,15 +222,15 @@ type RecipeOutcome struct {
 // worker environment: EstimateRecipes parallelizes across recipes, so
 // nesting another pool per recipe would only multiply goroutines. Slot
 // L1s are skipped (nil slot) — recipe workers don't own slots; repeats
-// still hit the shared L2.
-func (e *Estimator) estimateRecipeWorker(v view, r RecipeInput, w *worker) RecipeOutcome {
+// still hit the shared L2. ingredients is the caller-provided result
+// destination, len(r.Phrases) long.
+func (e *Estimator) estimateRecipeWorker(v view, r RecipeInput, w *worker, ingredients []IngredientResult) RecipeOutcome {
 	if len(r.Phrases) == 0 {
 		return RecipeOutcome{Err: errors.New("core: recipe has no ingredients")}
 	}
 	if r.Servings <= 0 {
 		return RecipeOutcome{Err: fmt.Errorf("core: invalid servings %d", r.Servings)}
 	}
-	ingredients := make([]IngredientResult, len(r.Phrases))
 	for i, p := range r.Phrases {
 		ingredients[i] = e.estimateSlot(v, p, w, nil)
 	}
@@ -251,9 +251,72 @@ func (e *Estimator) EstimateRecipes(recipes []RecipeInput, workers int) []Recipe
 	out := make([]RecipeOutcome, len(recipes))
 	v := e.pin()
 	e.forEachIndex(v.snap, len(recipes), workers, func(i int, w *worker) {
-		out[i] = e.estimateRecipeWorker(v, recipes[i], w)
+		out[i] = e.estimateRecipeWorker(v, recipes[i], w, make([]IngredientResult, len(recipes[i].Phrases)))
 	})
 	return out
+}
+
+// EstimateRecipesInto is EstimateRecipes on caller-owned memory: the
+// windowed feed behind the streaming /v1/batch endpoint, whose bulk
+// streams reuse one result arena across every window instead of
+// allocating per line. recipes[i] is estimated into out[i], and each
+// recipe's per-ingredient results are carved out of arena — which must
+// hold at least the window's total phrase count — so a warm window
+// performs no heap allocation in this layer. Outcomes (including their
+// Ingredients slices) alias arena and are valid until the caller reuses
+// it. Cancellation follows EstimateBatchContext: on a done ctx workers
+// stop claiming recipes, the error is ctx.Err(), and out holds an
+// unpredictable prefix.
+func (e *Estimator) EstimateRecipesInto(ctx context.Context, recipes []RecipeInput, workers int, out []RecipeOutcome, arena []IngredientResult) error {
+	if len(recipes) == 0 {
+		return nil
+	}
+	if len(out) < len(recipes) {
+		return fmt.Errorf("core: out holds %d outcomes for %d recipes", len(out), len(recipes))
+	}
+	total := 0
+	for i := range recipes {
+		total += len(recipes[i].Phrases)
+	}
+	if total > len(arena) {
+		return fmt.Errorf("core: arena holds %d results for %d ingredient lines", len(arena), total)
+	}
+	// Carve disjoint arena windows up front so workers write their
+	// recipe's results without coordination. The empty destination is
+	// parked in out[i] (workers overwrite out[i] wholesale, reclaiming
+	// the capacity through the carve below).
+	off := 0
+	for i := range recipes {
+		n := len(recipes[i].Phrases)
+		out[i] = RecipeOutcome{}
+		out[i].Result.Ingredients = arena[off : off : off+n]
+		off += n
+	}
+	v := e.pin()
+	if normWorkers(workers, len(recipes)) == 1 {
+		// Inline sequential loop rather than forEachIndexCtx: the closure
+		// handed to the pool escapes (the parallel branch ships it to
+		// goroutines), which would cost one heap allocation per window —
+		// the difference between the bulk hot path's zero-alloc pin and
+		// almost-zero.
+		w := worker{env: e.getEnv(v.snap)}
+		defer e.flushWorker(&w, 0)
+		done := ctx.Done()
+		for i := range recipes {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			dst := out[i].Result.Ingredients
+			out[i] = e.estimateRecipeWorker(v, recipes[i], &w, dst[:len(recipes[i].Phrases)])
+		}
+		return nil
+	}
+	return e.forEachIndexCtx(ctx, v.snap, len(recipes), workers, func(i int, w *worker) {
+		dst := out[i].Result.Ingredients
+		out[i] = e.estimateRecipeWorker(v, recipes[i], w, dst[:len(recipes[i].Phrases)])
+	})
 }
 
 // CacheStats reports the phrase- and match-level memoization counters.

@@ -45,6 +45,18 @@ func (d *Decoder) Reset(data []byte) {
 	d.scratch = d.scratch[:0]
 }
 
+// ResetKeep points the decoder at a new buffer while preserving the
+// unescape scratch: slices returned since the last plain Reset remain
+// valid. This is the NDJSON-window mode — the streaming batch endpoint
+// decodes many lines whose values must all stay alive until the window
+// is processed, then issues one Reset to reclaim the scratch. Safe
+// because the scratch is append-only between Resets: growth abandons
+// prior backing arrays instead of rewriting them.
+func (d *Decoder) ResetKeep(data []byte) {
+	d.data = data
+	d.pos = 0
+}
+
 func (d *Decoder) skipSpace() {
 	for d.pos < len(d.data) {
 		switch d.data[d.pos] {

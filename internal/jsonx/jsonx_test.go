@@ -387,3 +387,52 @@ func TestBufferPool(t *testing.T) {
 	buf2.B = make([]byte, 0, maxPooledBuffer+1)
 	PutBuffer(buf2) // must not panic; oversize is dropped
 }
+
+// TestResetKeepPreservesViews pins the NDJSON-window contract: views
+// returned before a ResetKeep stay intact while the decoder moves on to
+// later lines, and a plain Reset is the point where they die (the
+// scratch is reclaimed and may be overwritten).
+func TestResetKeepPreservesViews(t *testing.T) {
+	decodeOnly := func(t *testing.T, d *Decoder, doc string) []byte {
+		t.Helper()
+		if _, err := d.ObjectStart(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := d.Member(true); err != nil || !ok {
+			t.Fatalf("member: %v", err)
+		}
+		v, _, err := d.String()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	var d Decoder
+	d.Reset([]byte(`{"a":"first\nline"}`))
+	first := decodeOnly(t, &d, "line 1")
+
+	// Re-point at the next window lines without reclaiming the scratch.
+	d.ResetKeep([]byte(`{"b":"second\tline"}`))
+	second := decodeOnly(t, &d, "line 2")
+	d.ResetKeep([]byte(`{"c":"` + strings.Repeat(`xé`, 400) + `"}`)) // force scratch growth
+	third := decodeOnly(t, &d, "line 3")
+
+	if string(first) != "first\nline" {
+		t.Errorf("first view clobbered across ResetKeep: %q", first)
+	}
+	if string(second) != "second\tline" {
+		t.Errorf("second view clobbered across ResetKeep: %q", second)
+	}
+	if want := strings.Repeat("xé", 400); string(third) != want {
+		t.Errorf("post-growth view wrong: %q", third)
+	}
+
+	// A plain Reset reclaims the scratch: the next escaped decode may
+	// reuse the same backing array, so old views are dead. Only assert
+	// what the contract promises — the new value is correct.
+	d.Reset([]byte(`{"d":"after\rreset"}`))
+	if v := decodeOnly(t, &d, "after reset"); string(v) != "after\rreset" {
+		t.Errorf("decode after Reset: %q", v)
+	}
+}

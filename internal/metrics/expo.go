@@ -1,0 +1,191 @@
+package metrics
+
+// Prometheus text exposition (format version 0.0.4) over the registry's
+// snapshot — the same numbers /v1/stats serves as JSON, rendered the way
+// every production scrape stack already understands. The exposition is
+// computed from one Snapshot so a scrape is internally consistent to the
+// same degree the JSON surface is, and the output is deterministic
+// (routes sorted) so it can be golden-tested and diffed across scrapes.
+//
+// Unit conventions follow Prometheus practice: durations in seconds
+// (the registry's millisecond buckets are converted at render time),
+// cumulative counters suffixed _total, histograms exposed as cumulative
+// _bucket series with an le label and a terminal le="+Inf" equal to
+// _count.
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PrometheusContentType is the Content-Type a /metrics handler should
+// send with WritePrometheus output.
+func PrometheusContentType() string { return promContentType }
+
+// WritePrometheus renders the registry in Prometheus text format. One
+// scrape takes one snapshot; errors are the writer's.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, g.Snapshot())
+}
+
+// promWriter accumulates the exposition, capturing the first write error
+// so the render code stays linear.
+type promWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (p *promWriter) flush() error {
+	if p.err == nil && len(p.buf) > 0 {
+		_, p.err = p.w.Write(p.buf)
+		p.buf = p.buf[:0]
+	}
+	return p.err
+}
+
+func (p *promWriter) str(s string)  { p.buf = append(p.buf, s...) }
+func (p *promWriter) int(v int64)   { p.buf = strconv.AppendInt(p.buf, v, 10) }
+func (p *promWriter) uint(v uint64) { p.buf = strconv.AppendUint(p.buf, v, 10) }
+func (p *promWriter) float(v float64) {
+	p.buf = strconv.AppendFloat(p.buf, v, 'g', -1, 64)
+}
+
+// header emits the HELP and TYPE lines for one metric family.
+func (p *promWriter) header(name, help, typ string) {
+	p.str("# HELP ")
+	p.str(name)
+	p.str(" ")
+	p.str(help)
+	p.str("\n# TYPE ")
+	p.str(name)
+	p.str(" ")
+	p.str(typ)
+	p.str("\n")
+}
+
+// label appends one escaped label pair; Prometheus label values escape
+// backslash, double quote and newline.
+func (p *promWriter) label(first bool, key, val string) {
+	if !first {
+		p.buf = append(p.buf, ',')
+	}
+	p.str(key)
+	p.str(`="`)
+	for i := 0; i < len(val); i++ {
+		switch c := val[i]; c {
+		case '\\':
+			p.str(`\\`)
+		case '"':
+			p.str(`\"`)
+		case '\n':
+			p.str(`\n`)
+		default:
+			p.buf = append(p.buf, c)
+		}
+	}
+	p.buf = append(p.buf, '"')
+}
+
+func writePrometheus(w io.Writer, s Snapshot) error {
+	p := &promWriter{w: w, buf: make([]byte, 0, 4096)}
+
+	routes := make([]string, 0, len(s.Routes))
+	for name := range s.Routes {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
+
+	p.header("nutriserve_http_requests_total", "Requests received, by route.", "counter")
+	for _, rt := range routes {
+		p.str("nutriserve_http_requests_total{")
+		p.label(true, "route", rt)
+		p.str("} ")
+		p.uint(s.Routes[rt].Requests)
+		p.str("\n")
+	}
+
+	p.header("nutriserve_http_responses_total", "Responses sent, by route and status class.", "counter")
+	for _, rt := range routes {
+		classes := make([]string, 0, len(s.Routes[rt].ByClass))
+		for c := range s.Routes[rt].ByClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			p.str("nutriserve_http_responses_total{")
+			p.label(true, "route", rt)
+			p.label(false, "class", c)
+			p.str("} ")
+			p.uint(s.Routes[rt].ByClass[c])
+			p.str("\n")
+		}
+	}
+
+	p.header("nutriserve_http_request_duration_seconds", "Request latency, by route.", "histogram")
+	for _, rt := range routes {
+		lat := s.Routes[rt].Latency
+		var cum uint64
+		for _, b := range lat.Buckets {
+			cum += b.Count
+			p.str("nutriserve_http_request_duration_seconds_bucket{")
+			p.label(true, "route", rt)
+			p.str(`,le="`)
+			p.float(b.UpperMs / 1000)
+			p.str(`"} `)
+			p.uint(cum)
+			p.str("\n")
+		}
+		p.str("nutriserve_http_request_duration_seconds_bucket{")
+		p.label(true, "route", rt)
+		p.label(false, "le", "+Inf")
+		p.str("} ")
+		p.uint(lat.Count)
+		p.str("\n")
+		p.str("nutriserve_http_request_duration_seconds_sum{")
+		p.label(true, "route", rt)
+		p.str("} ")
+		p.float(lat.SumMs / 1000)
+		p.str("\n")
+		p.str("nutriserve_http_request_duration_seconds_count{")
+		p.label(true, "route", rt)
+		p.str("} ")
+		p.uint(lat.Count)
+		p.str("\n")
+	}
+
+	p.header("nutriserve_http_in_flight", "Requests currently being served.", "gauge")
+	p.str("nutriserve_http_in_flight ")
+	p.int(s.InFlight)
+	p.str("\n")
+
+	p.header("nutriserve_http_shed_total", "Requests rejected by admission control.", "counter")
+	p.str("nutriserve_http_shed_total ")
+	p.uint(s.Shed)
+	p.str("\n")
+
+	p.header("nutriserve_batch_lines_total", "NDJSON lines answered on bulk streams.", "counter")
+	p.str("nutriserve_batch_lines_total ")
+	p.uint(s.Batch.Lines)
+	p.str("\n")
+
+	p.header("nutriserve_batch_line_errors_total", "Per-line errors reported in-stream on bulk streams.", "counter")
+	p.str("nutriserve_batch_line_errors_total ")
+	p.uint(s.Batch.LineErrors)
+	p.str("\n")
+
+	p.header("nutriserve_batch_windows_total", "Estimator windows processed by bulk streams.", "counter")
+	p.str("nutriserve_batch_windows_total ")
+	p.uint(s.Batch.Windows)
+	p.str("\n")
+
+	p.header("nutriserve_batch_streams_active", "Bulk streams currently held open.", "gauge")
+	p.str("nutriserve_batch_streams_active ")
+	p.int(s.Batch.Active)
+	p.str("\n")
+
+	return p.flush()
+}

@@ -127,6 +127,15 @@ type Registry struct {
 
 	inFlight atomic.Int64
 	shed     atomic.Uint64
+
+	// Bulk-stream counters for the streaming /v1/batch endpoint. Route
+	// counters see one request per stream; these count the work inside
+	// it — NDJSON lines, per-line errors reported in-stream, estimator
+	// windows — plus a gauge of streams currently held open.
+	batchLines      atomic.Uint64
+	batchLineErrors atomic.Uint64
+	batchWindows    atomic.Uint64
+	bulkActive      atomic.Int64
 }
 
 // NewRegistry builds an empty registry.
@@ -164,10 +173,33 @@ func (g *Registry) AddShed() { g.shed.Add(1) }
 // Shed reads the lifetime shed counter.
 func (g *Registry) Shed() uint64 { return g.shed.Load() }
 
+// AddBatchLines counts n NDJSON lines answered on bulk streams (error
+// lines included — every non-empty input line produces exactly one).
+func (g *Registry) AddBatchLines(n uint64) { g.batchLines.Add(n) }
+
+// AddBatchLineErrors counts n per-line errors reported in-stream.
+func (g *Registry) AddBatchLineErrors(n uint64) { g.batchLineErrors.Add(n) }
+
+// AddBatchWindow counts one estimator window processed by a bulk stream.
+func (g *Registry) AddBatchWindow() { g.batchWindows.Add(1) }
+
+// IncBulkActive/DecBulkActive maintain the open-bulk-streams gauge.
+func (g *Registry) IncBulkActive() { g.bulkActive.Add(1) }
+func (g *Registry) DecBulkActive() { g.bulkActive.Add(-1) }
+
+// BatchSnapshot is a point-in-time copy of the bulk-stream counters.
+type BatchSnapshot struct {
+	Lines      uint64 `json:"lines"`
+	LineErrors uint64 `json:"line_errors"`
+	Windows    uint64 `json:"windows"`
+	Active     int64  `json:"active_streams"`
+}
+
 // Snapshot is a point-in-time copy of every counter in the registry.
 type Snapshot struct {
 	InFlight int64                    `json:"in_flight"`
 	Shed     uint64                   `json:"shed"`
+	Batch    BatchSnapshot            `json:"batch"`
 	Routes   map[string]RouteSnapshot `json:"routes"`
 }
 
@@ -189,7 +221,13 @@ func (g *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		InFlight: g.inFlight.Load(),
 		Shed:     g.shed.Load(),
-		Routes:   make(map[string]RouteSnapshot, len(g.routes)),
+		Batch: BatchSnapshot{
+			Lines:      g.batchLines.Load(),
+			LineErrors: g.batchLineErrors.Load(),
+			Windows:    g.batchWindows.Load(),
+			Active:     g.bulkActive.Load(),
+		},
+		Routes: make(map[string]RouteSnapshot, len(g.routes)),
 	}
 	for name, r := range g.routes {
 		rs := RouteSnapshot{

@@ -89,8 +89,8 @@ type generator struct {
 	regional []int // catalog indices with ndb == 0
 }
 
-// Generate renders a deterministic synthetic corpus.
-func Generate(cfg Config) (*Corpus, error) {
+// newGenerator validates cfg and builds the per-run generator state.
+func newGenerator(cfg Config) (*generator, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -108,12 +108,38 @@ func Generate(cfg Config) (*Corpus, error) {
 			g.mappable = append(g.mappable, i)
 		}
 	}
+	return g, nil
+}
 
+// Generate renders a deterministic synthetic corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	g, err := newGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
 	recipes := make([]Recipe, 0, cfg.NumRecipes)
 	for id := 1; id <= cfg.NumRecipes; id++ {
 		recipes = append(recipes, g.recipe(id))
 	}
 	return &Corpus{Recipes: recipes}, nil
+}
+
+// Each streams the corpus cfg describes, one recipe at a time, without
+// materializing it — recipe i here is byte-identical to
+// Generate(cfg).Recipes[i] (the generator is a deterministic function of
+// the seed), so a paper-scale 118k-recipe corpus can feed a load
+// generator in O(1) memory. fn returning false stops early.
+func Each(cfg Config, fn func(Recipe) bool) error {
+	g, err := newGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	for id := 1; id <= cfg.NumRecipes; id++ {
+		if !fn(g.recipe(id)) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // westernCuisineCount marks the prefix of the cuisine list whose recipes

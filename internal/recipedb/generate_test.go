@@ -1,6 +1,7 @@
 package recipedb
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -292,5 +293,48 @@ func BenchmarkGenerate(b *testing.B) {
 		if _, err := Generate(Config{NumRecipes: 100, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestEachMatchesGenerate pins the streaming generator: Each must
+// produce exactly the recipes Generate materializes, in order, without
+// building the corpus — and stop early when the callback returns false.
+func TestEachMatchesGenerate(t *testing.T) {
+	cfg := Config{NumRecipes: 40, Seed: 11, TypoRate: 0.1}
+	corpus, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err = Each(cfg, func(r Recipe) bool {
+		if i >= len(corpus.Recipes) {
+			t.Fatalf("Each produced more than %d recipes", len(corpus.Recipes))
+		}
+		want := fmt.Sprintf("%+v", corpus.Recipes[i])
+		if got := fmt.Sprintf("%+v", r); got != want {
+			t.Fatalf("recipe %d diverges from Generate:\n got: %s\nwant: %s", i, got, want)
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(corpus.Recipes) {
+		t.Fatalf("Each produced %d recipes, want %d", i, len(corpus.Recipes))
+	}
+
+	// Early stop: the callback's false return ends the walk.
+	n := 0
+	if err := Each(cfg, func(Recipe) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop after %d recipes, want 5", n)
+	}
+
+	// Config validation surfaces the same way Generate's does.
+	if err := Each(Config{}, func(Recipe) bool { return true }); err == nil {
+		t.Fatal("Each with NumRecipes 0 should error")
 	}
 }

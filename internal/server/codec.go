@@ -215,6 +215,20 @@ func appendErrorBody(b []byte, status int, code, msg string) []byte {
 	return b
 }
 
+// appendBatchErrorBody renders a per-line batch error envelope (no
+// trailing newline — the batch encoder owns line separation).
+func appendBatchErrorBody(b []byte, status int, code, msg string, line int) []byte {
+	b = append(b, `{"error":{"code":`...)
+	b = jsonx.AppendString(b, code)
+	b = append(b, `,"status":`...)
+	b = jsonx.AppendInt(b, int64(status))
+	b = append(b, `,"message":`...)
+	b = jsonx.AppendString(b, msg)
+	b = append(b, `,"line":`...)
+	b = jsonx.AppendInt(b, int64(line))
+	return append(b, '}', '}')
+}
+
 func appendEstimateResponse(b []byte, e *EstimateResponse) []byte {
 	b = append(b, `{"phrase":`...)
 	b = jsonx.AppendString(b, e.Phrase)

@@ -44,6 +44,22 @@ type ErrorDetail struct {
 	Message string `json:"message"`
 }
 
+// BatchErrorBody is the structured per-line error on a /v1/batch stream.
+// It is ErrorBody plus the 1-based input line the error answers, so a
+// client correlating by position can also correlate by number after a
+// resync (blank lines are counted but never answered).
+type BatchErrorBody struct {
+	Error BatchErrorDetail `json:"error"`
+}
+
+// BatchErrorDetail carries the machine-readable per-line error.
+type BatchErrorDetail struct {
+	Code    string `json:"code"`
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+	Line    int    `json:"line"`
+}
+
 // EstimateRequest is the POST /v1/estimate body.
 type EstimateRequest struct {
 	Phrase string `json:"phrase"`
@@ -260,6 +276,13 @@ type StatsResponse struct {
 	DB      core.SnapshotStats   `json:"db"`
 	HTTP    metrics.Snapshot     `json:"http"`
 	Runtime metrics.RuntimeStats `json:"runtime"`
+}
+
+// handleMetrics serves the registry in Prometheus text format — the
+// same counters as /v1/stats HTTP section, rendered for scrape stacks.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.PrometheusContentType())
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -26,7 +26,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"nutriprofile/internal/core"
@@ -58,6 +60,21 @@ type Config struct {
 	// the serving database from a baked image). Off by default: a
 	// process whose DB is baked into the binary has nothing to reload.
 	EnableReload bool
+	// BatchWindow is the number of NDJSON lines a /v1/batch stream
+	// decodes, estimates and flushes per pipeline pass. Smaller windows
+	// yield to interactive traffic more often; larger windows amortize
+	// the per-window dispatch. Default 64.
+	BatchWindow int
+	// BatchWorkers bounds the estimator workers one bulk window runs on,
+	// independent of Workers (interactive recipes): bulk is throughput
+	// traffic and must leave cores for latency traffic. Default
+	// GOMAXPROCS/2, minimum 1.
+	BatchWorkers int
+	// MaxBulkStreams bounds concurrently admitted /v1/batch streams.
+	// Each stream also holds one MaxInFlight admission slot for its
+	// whole life, so bulk can never occupy more than MaxBulkStreams
+	// slots of the interactive budget. Default MaxInFlight/4, minimum 1.
+	MaxBulkStreams int
 	// AccessLog receives one structured line per request; nil disables
 	// access logging.
 	AccessLog *log.Logger
@@ -81,6 +98,21 @@ func (c *Config) fill() error {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 64
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0) / 2
+		if c.BatchWorkers < 1 {
+			c.BatchWorkers = 1
+		}
+	}
+	if c.MaxBulkStreams <= 0 {
+		c.MaxBulkStreams = c.MaxInFlight / 4
+		if c.MaxBulkStreams < 1 {
+			c.MaxBulkStreams = 1
+		}
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -98,6 +130,16 @@ type Server struct {
 	// full pipeline residence. Acquisition never blocks — a full
 	// semaphore sheds the request.
 	sem chan struct{}
+	// bulkSem bounds concurrently open /v1/batch streams; a bulk stream
+	// holds one bulkSem slot AND one sem slot, so interactive traffic
+	// always keeps MaxInFlight - MaxBulkStreams admission slots to
+	// itself (the starvation bound DESIGN.md §14 documents).
+	bulkSem chan struct{}
+	// drainCh closes when graceful shutdown begins. Bulk streams poll it
+	// between windows (and while blocked on slow readers) so they can
+	// end with an in-stream trailer instead of hanging the drain.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 	// runtime caches the stop-the-world MemStats read behind a 1 s TTL
 	// so scraping /v1/stats hard cannot become a GC-pause generator.
 	runtime *metrics.RuntimeSampler
@@ -118,8 +160,16 @@ func New(cfg Config) (*Server, error) {
 		est:     cfg.Estimator,
 		reg:     cfg.Registry,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		bulkSem: make(chan struct{}, cfg.MaxBulkStreams),
+		drainCh: make(chan struct{}),
 		runtime: metrics.NewRuntimeSampler(time.Second),
 	}, nil
+}
+
+// startDrain flips the server into draining state (idempotent). Serve
+// calls it when shutdown begins; tests may call it directly.
+func (s *Server) startDrain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
 }
 
 // Registry exposes the metrics registry backing /v1/stats.
@@ -130,8 +180,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/estimate", s.instrument("/v1/estimate", true, s.handleEstimate))
 	mux.Handle("POST /v1/recipe", s.instrument("/v1/recipe", true, s.handleRecipe))
+	mux.Handle("POST /v1/batch", s.instrumentBulk("/v1/batch", s.handleBatch))
 	mux.Handle("GET /v1/healthz", s.instrument("/v1/healthz", false, s.handleHealthz))
 	mux.Handle("GET /v1/stats", s.instrument("/v1/stats", false, s.handleStats))
+	mux.Handle("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
 	if s.cfg.EnableReload {
 		// Unadmitted: a reload must go through exactly when the pipeline
 		// is saturated, and it holds no estimation capacity.
@@ -155,6 +207,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach through to the underlying
+// writer — the bulk stream uses it for Flush and SetReadDeadline.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 func (r *statusRecorder) Write(p []byte) (int, error) {
 	if r.status == 0 {
 		r.status = http.StatusOK
@@ -162,6 +218,29 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += int64(n)
 	return n, err
+}
+
+// observe finishes one request's middleware accounting: the latency
+// observation and the structured access-log line. Deferred by both
+// instrument and instrumentBulk.
+func (s *Server) observe(route string, rt *metrics.Route, r *http.Request, rec *statusRecorder, start time.Time) {
+	s.reg.DecInFlight()
+	d := time.Since(start)
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	rt.Observe(rec.status, d)
+	if lg := s.cfg.AccessLog; lg != nil {
+		lg.Printf("method=%s route=%s status=%d bytes=%d dur_ms=%.3f remote=%s",
+			r.Method, route, rec.status, rec.bytes, float64(d)/float64(time.Millisecond), r.RemoteAddr)
+	}
+}
+
+// shed rejects a request at admission with 429 + Retry-After.
+func (s *Server) shed(w http.ResponseWriter, code, msg string) {
+	s.reg.AddShed()
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, code, msg)
 }
 
 // instrument wraps a route handler with the middleware stack: metrics +
@@ -173,18 +252,7 @@ func (s *Server) instrument(route string, admitted bool, h http.HandlerFunc) htt
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		s.reg.IncInFlight()
-		defer func() {
-			s.reg.DecInFlight()
-			d := time.Since(start)
-			if rec.status == 0 {
-				rec.status = http.StatusOK
-			}
-			rt.Observe(rec.status, d)
-			if lg := s.cfg.AccessLog; lg != nil {
-				lg.Printf("method=%s route=%s status=%d bytes=%d dur_ms=%.3f remote=%s",
-					r.Method, route, rec.status, rec.bytes, float64(d)/float64(time.Millisecond), r.RemoteAddr)
-			}
-		}()
+		defer s.observe(route, rt, r, rec, start)
 
 		if !admitted {
 			h(rec, r)
@@ -197,9 +265,7 @@ func (s *Server) instrument(route string, admitted bool, h http.HandlerFunc) htt
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			s.reg.AddShed()
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			writeError(rec, http.StatusTooManyRequests, "overloaded",
+			s.shed(rec, "overloaded",
 				fmt.Sprintf("server at capacity (%d requests in flight); retry later", s.cfg.MaxInFlight))
 			return
 		}
@@ -211,6 +277,48 @@ func (s *Server) instrument(route string, admitted bool, h http.HandlerFunc) htt
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		h(rec, r.WithContext(ctx))
+	})
+}
+
+// instrumentBulk is the middleware for the streaming bulk route. A bulk
+// stream acquires one bulkSem slot (bounding open streams) and one
+// admission slot (so the interactive semaphore sees bulk load), both
+// non-blocking — at capacity the stream is shed exactly like an
+// interactive request. What it deliberately does NOT get: no
+// MaxBytesReader (the body is unbounded by design; MaxBodyBytes caps
+// each line instead) and no per-request deadline (a 118k-line stream
+// cannot fit one; windowing, drain polling and client disconnect bound
+// its life).
+func (s *Server) instrumentBulk(route string, h http.HandlerFunc) http.Handler {
+	rt := s.reg.Route(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.reg.IncInFlight()
+		defer s.observe(route, rt, r, rec, start)
+
+		select {
+		case s.bulkSem <- struct{}{}:
+			defer func() { <-s.bulkSem }()
+		default:
+			s.shed(rec, "bulk_capacity",
+				fmt.Sprintf("server at bulk capacity (%d streams open); retry later", s.cfg.MaxBulkStreams))
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed(rec, "overloaded",
+				fmt.Sprintf("server at capacity (%d requests in flight); retry later", s.cfg.MaxInFlight))
+			return
+		}
+		if hook := s.testHookAdmitted; hook != nil {
+			hook(route)
+		}
+		s.reg.IncBulkActive()
+		defer s.reg.DecBulkActive()
+		h(rec, r)
 	})
 }
 
@@ -234,6 +342,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 		return err // listener failed before shutdown was requested
 	case <-ctx.Done():
 	}
+	// Signal bulk streams before Shutdown starts waiting on handlers:
+	// they finish their current window, write a draining trailer line,
+	// and return, so a bulk stream never pins the drain window open.
+	s.startDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := hs.Shutdown(dctx)
