@@ -47,6 +47,8 @@ bench-json:
 		-benchmem -benchtime=1s ./internal/usda/bake/ | tee -a bench_match.txt
 	$(GO) test -run xxx -bench 'BenchmarkEstimateBatch/^(parallel|parallel_cached_warm)$$' -cpu 1,4,8 \
 		-benchmem -benchtime=1s . | tee -a bench_match.txt
+	$(GO) test -run xxx -bench 'BenchmarkMemoZipf|BenchmarkMemoGetHit' \
+		-benchmem -benchtime=1s ./internal/memo/ | tee -a bench_match.txt
 	$(GO) run ./cmd/benchjson -in bench_match.txt -o BENCH_match.json
 	@rm -f bench_match.txt
 
@@ -64,6 +66,7 @@ fuzz:
 	$(GO) test -fuzz FuzzExpandFractions -fuzztime 15s ./internal/textutil/
 	$(GO) test -fuzz FuzzPipelineScratch -fuzztime 15s ./internal/pipeline/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/recipedb/
+	$(GO) test -fuzz FuzzMemoAdmission -fuzztime 15s ./internal/memo/
 	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/usda/sr/
 	$(GO) test -fuzz FuzzLoad -fuzztime 15s ./internal/usda/bake/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 15s -run xxx ./internal/server/
@@ -143,6 +146,8 @@ load-smoke:
 	[ "$$ok" = 1 ] || { echo "load-smoke: server never became healthy" >&2; exit 1; }; \
 	/tmp/loadgen -addr http://$(LOAD_ADDR) -recipes 500 -bulk 2 -interactive 4 \
 		-slo-p99 2s -min-rps 200 -max-shed-frac 0.5 -metrics-check; \
+	/tmp/loadgen -addr http://$(LOAD_ADDR) -recipes 500 -bulk 1 -interactive 4 \
+		-zipf 1.1 -min-hit-ratio 0.25 -max-shed-frac 0.5; \
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT; \
 	echo "load-smoke: OK"

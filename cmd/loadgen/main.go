@@ -12,12 +12,20 @@
 // /metrics batch counters against the client-side line count. Optional
 // SLO gates turn the run into a CI check: -slo-p50/-slo-p99 bound the
 // interactive latency quantiles observed while bulk runs, -min-rps
-// floors the bulk throughput in recipes per second.
+// floors the bulk throughput in recipes per second, and
+// -min-hit-ratio floors the server's phrase-cache hit ratio computed
+// from /metrics counter deltas over the run.
+//
+// -zipf skews the interactive workers' phrase/recipe popularity with
+// a Zipf(s) distribution (rank 0 hottest) instead of a uniform draw —
+// the head-heavy shape real recipe traffic has, and the workload the
+// TinyLFU admission policy (-cache-policy on the server) is built for.
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 -recipes 2000 -bulk 2 -interactive 4
 //	loadgen -paper -min-rps 100 -slo-p99 250ms -metrics-check
+//	loadgen -recipes 2000 -zipf 1.1 -min-hit-ratio 0.30
 package main
 
 import (
@@ -69,6 +77,8 @@ func main() {
 	minRPS := flag.Float64("min-rps", 0, "fail if bulk throughput falls below this many recipes/s (0 disables)")
 	maxShedFrac := flag.Float64("max-shed-frac", 0, "fail if more than this fraction of interactive requests is shed with 429 (0 disables)")
 	metricsCheck := flag.Bool("metrics-check", false, "scrape /metrics before and after and verify the batch counter deltas")
+	zipfS := flag.Float64("zipf", 0, "Zipf skew s for interactive phrase/recipe popularity (0: uniform)")
+	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail if the server's phrase-cache hit ratio over the run falls below this (scrapes /metrics; 0 disables)")
 	flag.Parse()
 
 	n := *recipes
@@ -123,11 +133,23 @@ func main() {
 	for _, c := range counts {
 		total += c
 	}
-	fmt.Printf("loadgen: corpus ready: %d recipes across %d bulk streams (%d interactive workers)\n",
-		total, *bulk, *interactive)
+	fmt.Printf("loadgen: corpus ready: %d recipes across %d bulk streams (%d interactive workers, zipf s=%g)\n",
+		total, *bulk, *interactive, *zipfS)
 
+	// With -zipf the interactive mix draws keys by Zipf rank — rank 0
+	// is the hottest phrase — modeling the head-heavy popularity of a
+	// production recipe site instead of a uniform sweep. The samplers
+	// are shared across workers via the pure Rank() lookup; each worker
+	// keeps its own rng.
+	var zipfPhrase, zipfRecipe *recipedb.Zipf
+	if *zipfS > 0 {
+		zipfPhrase = recipedb.NewZipf(len(phrases), *zipfS, *seed)
+		zipfRecipe = recipedb.NewZipf(len(sampleRecipes), *zipfS, *seed)
+	}
+
+	needScrape := *metricsCheck || *minHitRatio > 0
 	var before map[string]float64
-	if *metricsCheck {
+	if needScrape {
 		if before, err = scrapeMetrics(base); err != nil {
 			fatalf("scraping /metrics before run: %v", err)
 		}
@@ -142,7 +164,7 @@ func main() {
 		iwg.Add(1)
 		go func(wid int) {
 			defer iwg.Done()
-			statsCh <- interactiveWorker(&stop, base, phrases, sampleRecipes, wid)
+			statsCh <- interactiveWorker(&stop, base, phrases, sampleRecipes, zipfPhrase, zipfRecipe, wid)
 		}(w)
 	}
 
@@ -230,11 +252,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL bulk throughput %.1f recipes/s below floor %.1f\n", rps, *minRPS)
 	}
 
-	if *metricsCheck {
-		after, err := scrapeMetrics(base)
-		if err != nil {
+	var after map[string]float64
+	if needScrape {
+		if after, err = scrapeMetrics(base); err != nil {
 			fatalf("scraping /metrics after run: %v", err)
 		}
+	}
+	if *metricsCheck {
 		delta := func(name string) float64 { return after[name] - before[name] }
 		if d := delta("nutriserve_batch_lines_total"); d != float64(total) {
 			failed = true
@@ -255,6 +279,32 @@ func main() {
 		}
 		if !failed {
 			fmt.Printf("loadgen: /metrics deltas verified (lines=%d, errors=0, active back to baseline)\n", total)
+		}
+	}
+	if needScrape {
+		// The phrase cache fronts every estimation the run drove —
+		// interactive and bulk alike — so its counter deltas give the
+		// run's own hit ratio regardless of what the server saw before.
+		key := func(name string) string { return name + `{cache="phrase"}` }
+		hits := after[key("nutriserve_memo_hits_total")] - before[key("nutriserve_memo_hits_total")]
+		misses := after[key("nutriserve_memo_misses_total")] - before[key("nutriserve_memo_misses_total")]
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = hits / (hits + misses)
+		}
+		fmt.Printf("loadgen: phrase-cache hit ratio over run: %.3f (%.0f hits / %.0f lookups, policy deltas: admit=%.0f reject=%.0f)\n",
+			ratio, hits, hits+misses,
+			after[key("nutriserve_memo_admissions_total")]-before[key("nutriserve_memo_admissions_total")],
+			after[key("nutriserve_memo_rejections_total")]-before[key("nutriserve_memo_rejections_total")])
+		if *minHitRatio > 0 {
+			switch {
+			case hits+misses == 0:
+				failed = true
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL -min-hit-ratio set but the run drove no cache lookups (cache disabled?)\n")
+			case ratio < *minHitRatio:
+				failed = true
+				fmt.Fprintf(os.Stderr, "loadgen: FAIL phrase-cache hit ratio %.3f below floor %.3f\n", ratio, *minHitRatio)
+			}
 		}
 	}
 
@@ -329,19 +379,28 @@ type workerStats struct {
 }
 
 // interactiveWorker fires alternating /v1/estimate and /v1/recipe
-// requests until stop flips, recording the latency of every 200.
-func interactiveWorker(stop *atomic.Bool, base string, phrases []string, recipes []recipeLine, wid int) workerStats {
+// requests until stop flips, recording the latency of every 200. With
+// Zipf samplers the key choice is skewed (rank 0 hottest); nil
+// samplers fall back to a uniform draw.
+func interactiveWorker(stop *atomic.Bool, base string, phrases []string, recipes []recipeLine,
+	zipfPhrase, zipfRecipe *recipedb.Zipf, wid int) workerStats {
 	rng := rand.New(rand.NewSource(int64(wid)*7919 + 1))
+	pick := func(z *recipedb.Zipf, n int) int {
+		if z != nil {
+			return z.Rank(rng.Float64())
+		}
+		return rng.Intn(n)
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	var ws workerStats
 	for !stop.Load() {
 		var url string
 		var body []byte
 		if len(recipes) == 0 || rng.Intn(2) == 0 {
-			b, _ := json.Marshal(estimateLine{Phrase: phrases[rng.Intn(len(phrases))]})
+			b, _ := json.Marshal(estimateLine{Phrase: phrases[pick(zipfPhrase, len(phrases))]})
 			url, body = base+"/v1/estimate", b
 		} else {
-			b, _ := json.Marshal(recipes[rng.Intn(len(recipes))])
+			b, _ := json.Marshal(recipes[pick(zipfRecipe, len(recipes))])
 			url, body = base+"/v1/recipe", b
 		}
 		t0 := time.Now()

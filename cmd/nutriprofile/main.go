@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"nutriprofile/internal/core"
+	"nutriprofile/internal/memo"
 	"nutriprofile/internal/recipedb"
 	"nutriprofile/internal/report"
 	"nutriprofile/internal/usda"
@@ -46,13 +47,20 @@ func main() {
 	batch := flag.Bool("batch", false, "treat every argument as a recipe file and estimate them concurrently")
 	workers := flag.Int("workers", 0, "worker pool size for -batch and ingredient estimation (default: one per CPU)")
 	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
+	cachePolicy := flag.String("cache-policy", "tinylfu", "memo cache admission policy: lru or tinylfu")
 	stats := flag.Bool("stats", false, "print memoization-cache and matcher-engine statistics after estimation")
 	flag.Parse()
+
+	policy, err := memo.ParsePolicy(*cachePolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
+		os.Exit(2)
+	}
 
 	phrases := flag.Args()
 	method := yield.None
 	if *batch {
-		runBatch(flag.Args(), *regional, *fuzzy, *applyYield, *verbose, *stats, *workers, *cacheSize)
+		runBatch(flag.Args(), *regional, *fuzzy, *applyYield, *verbose, *stats, *workers, *cacheSize, policy)
 		return
 	}
 	if *file != "" {
@@ -92,7 +100,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	e := newEstimator(*regional, *fuzzy, *cacheSize)
+	e := newEstimator(*regional, *fuzzy, *cacheSize, policy)
 	if !*applyYield {
 		method = yield.None
 	}
@@ -142,10 +150,14 @@ func main() {
 // plus arena-pool recycling).
 func printStats(e *core.Estimator) {
 	ps, ms := e.CacheStats()
-	fmt.Printf("\nphrase cache:  %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries\n",
-		ps.Hits, ps.Misses, 100*ps.HitRate(), ps.Evictions, ps.Entries)
-	fmt.Printf("match cache:   %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries\n",
-		ms.Hits, ms.Misses, 100*ms.HitRate(), ms.Evictions, ms.Entries)
+	fmt.Printf("\nphrase cache:  %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries [%s]\n",
+		ps.Hits, ps.Misses, 100*ps.HitRate(), ps.Evictions, ps.Entries, ps.Policy)
+	fmt.Printf("match cache:   %d hits / %d misses (%.0f%% hit rate), %d evictions, %d entries [%s]\n",
+		ms.Hits, ms.Misses, 100*ms.HitRate(), ms.Evictions, ms.Entries, ms.Policy)
+	if ps.Policy == "tinylfu" {
+		fmt.Printf("admission:     phrase %d admitted / %d rejected, match %d admitted / %d rejected, %d sketch resets\n",
+			ps.Admissions, ps.Rejections, ms.Admissions, ms.Rejections, ps.SketchResets+ms.SketchResets)
+	}
 	st := e.MatcherStats()
 	fmt.Printf("matcher index: %d docs, %d-term vocabulary, %d posting lists, %d postings\n",
 		st.Docs, st.VocabSize, st.PostingLists, st.PostingEntries)
@@ -154,12 +166,12 @@ func printStats(e *core.Estimator) {
 }
 
 // newEstimator builds the shared estimator from the CLI switches.
-func newEstimator(regional, fuzzy bool, cacheSize int) *core.Estimator {
+func newEstimator(regional, fuzzy bool, cacheSize int, policy memo.Policy) *core.Estimator {
 	db := usda.Seed()
 	if regional {
 		db = usda.WithRegional()
 	}
-	e, err := core.New(db, nil, core.Options{FuzzyMatch: fuzzy, CacheSize: cacheSize})
+	e, err := core.New(db, nil, core.Options{FuzzyMatch: fuzzy, CacheSize: cacheSize, CachePolicy: policy})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nutriprofile: %v\n", err)
 		os.Exit(1)
@@ -170,7 +182,7 @@ func newEstimator(regional, fuzzy bool, cacheSize int) *core.Estimator {
 // runBatch is corpus mode: each arg is a recipe file; all recipes are
 // estimated concurrently on one worker pool sharing one memoized
 // estimator, and summarized one line per recipe in argument order.
-func runBatch(files []string, regional, fuzzy, applyYield, verbose, stats bool, workers, cacheSize int) {
+func runBatch(files []string, regional, fuzzy, applyYield, verbose, stats bool, workers, cacheSize int, policy memo.Policy) {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "nutriprofile: -batch requires recipe-file arguments")
 		os.Exit(2)
@@ -205,7 +217,7 @@ func runBatch(files []string, regional, fuzzy, applyYield, verbose, stats bool, 
 		inputs[i] = core.RecipeInput{Phrases: rec.Phrases(), Servings: servings, Method: method}
 	}
 
-	e := newEstimator(regional, fuzzy, cacheSize)
+	e := newEstimator(regional, fuzzy, cacheSize, policy)
 	outcomes := e.EstimateRecipes(inputs, workers)
 
 	tb := report.NewTable("Recipe", "Title", "Mapped", "Total kcal", "kcal/serving")

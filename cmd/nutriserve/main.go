@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"nutriprofile/internal/core"
+	"nutriprofile/internal/memo"
 	"nutriprofile/internal/server"
 	"nutriprofile/internal/usda"
 	"nutriprofile/internal/usda/bake"
@@ -55,6 +56,7 @@ func main() {
 	batchWorkers := flag.Int("batch-workers", 0, "estimator workers per /v1/batch window (0: half the CPUs)")
 	maxBulkStreams := flag.Int("max-bulk-streams", 0, "concurrently open /v1/batch streams before shedding (0: max-in-flight/4)")
 	cacheSize := flag.Int("cache", 8192, "memoization cache entries (phrase + match level); 0 disables")
+	cachePolicy := flag.String("cache-policy", "tinylfu", "memo cache admission policy: lru or tinylfu")
 	coalesce := flag.Bool("coalesce", true, "coalesce concurrent estimates of the same phrase onto one pipeline pass (no effect with -cache 0)")
 	regional := flag.Bool("regional", false, "use the merged SR+FAO composition table")
 	dbImage := flag.String("db", "", "serve from a baked DB image (cmd/dbbake); enables POST /admin/reload")
@@ -63,9 +65,12 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	opts := core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize, DisableCoalescing: !*coalesce}
+	policy, err := memo.ParsePolicy(*cachePolicy)
+	if err != nil {
+		log.Fatalf("nutriserve: %v", err)
+	}
+	opts := core.Options{FuzzyMatch: *fuzzy, CacheSize: *cacheSize, DisableCoalescing: !*coalesce, CachePolicy: policy}
 	var est *core.Estimator
-	var err error
 	switch {
 	case *dbImage != "":
 		// Baked image: single-read load, index adopted zero-copy, and the

@@ -106,6 +106,14 @@ type Options struct {
 	// 0 (the zero value) disables both caches. ObserveUnits invalidates
 	// the phrase cache, since it changes the most-frequent-unit state.
 	CacheSize int
+	// CachePolicy selects the memo caches' eviction policy: PolicyLRU
+	// (the zero value) or PolicyTinyLFU, which adds frequency-gated
+	// admission so skewed production traffic keeps its hot head
+	// resident through cold bulk scans (memo/tinylfu.go, DESIGN.md
+	// §15). The policy can never change estimation results — only
+	// which phrases stay cached — so it is a pure performance
+	// ablation, threaded to the CLIs as -cache-policy.
+	CachePolicy memo.Policy
 	// DisableCoalescing turns off single-flight deduplication of
 	// concurrent cache misses (see internal/flight). On by default when
 	// caching is enabled; coalescing is a no-op for sequential callers,
@@ -217,8 +225,8 @@ func newEstimator(db *usda.DB, m *match.Matcher, tagger ner.Tagger, opts Options
 	}
 	e.snap.Store(&Snapshot{db: db, matcher: m, version: 1, gen: 0, source: source})
 	if opts.CacheSize > 0 {
-		e.phraseCache = memo.New[IngredientResult](opts.CacheSize)
-		e.matchCache = memo.New[matchHit](opts.CacheSize)
+		e.phraseCache = memo.NewPolicy[IngredientResult](opts.CacheSize, memo.DefaultShards, opts.CachePolicy)
+		e.matchCache = memo.NewPolicy[matchHit](opts.CacheSize, memo.DefaultShards, opts.CachePolicy)
 	}
 	e.shardState.init()
 	return e, nil

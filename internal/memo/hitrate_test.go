@@ -1,0 +1,108 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+
+	"nutriprofile/internal/recipedb"
+)
+
+// replay drives a deterministic access trace through a fresh cache of
+// the given policy using the core estimator's exact pattern — Get,
+// and on miss compute + Put — and returns the measured hit ratio.
+func replay(p Policy, capacity int, trace []int, keys []string) float64 {
+	c := NewPolicy[int](capacity, DefaultShards, p)
+	for _, k := range trace {
+		key := keys[k]
+		h := HashString(key)
+		if _, ok := c.GetHash(h, key); !ok {
+			c.PutHash(h, key, k)
+		}
+	}
+	return c.Stats().HitRate()
+}
+
+func makeKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("phrase-%05d", i)
+	}
+	return keys
+}
+
+// TestHitRateWorkloads is the deterministic end of the acceptance
+// gate: at equal capacity, TinyLFU must beat LRU on Zipf-skewed and
+// scan-mixed traffic and stay within noise on uniform traffic (the
+// LRU-favorable floor). Traces are seeded, so these numbers are exact
+// and reproducible — the EXPERIMENTS.md table is generated from the
+// same generators.
+func TestHitRateWorkloads(t *testing.T) {
+	const capacity = 2048
+	keys := makeKeys(65536)
+
+	uniform := func(seed int64) []int {
+		z := recipedb.NewZipf(len(keys), 0, seed) // s=0 is uniform
+		tr := make([]int, 200000)
+		for i := range tr {
+			tr[i] = z.Next()
+		}
+		return tr
+	}
+	zipf := func(s float64, seed int64) []int {
+		z := recipedb.NewZipf(len(keys), s, seed)
+		tr := make([]int, 200000)
+		for i := range tr {
+			tr[i] = z.Next()
+		}
+		return tr
+	}
+	// scanMixed: Zipf s=1.1 interactive traffic with a full sweep of
+	// 32k one-hit-wonder scan keys interleaved 1:1 — the bulk-ingest-
+	// during-peak-traffic scenario.
+	scanMixed := func(seed int64) []int {
+		z := recipedb.NewZipf(32768, 1.1, seed)
+		tr := make([]int, 0, 131072)
+		scanKey := 32768 // scan ranks sit above the interactive ranks
+		for i := 0; i < 65536; i++ {
+			tr = append(tr, z.Next())
+			tr = append(tr, scanKey)
+			scanKey++
+			if scanKey == len(keys) {
+				scanKey = 32768
+			}
+		}
+		return tr
+	}
+
+	cases := []struct {
+		name  string
+		trace []int
+		// gates on (tinylfu - lru) in absolute hit-ratio points
+		minGain, maxLoss float64
+	}{
+		// Floors sit at ~60% of the measured gains (+0.088, +0.043,
+		// +0.050 at the time of writing) — the traces are seeded and
+		// the replay single-threaded, so runs are exactly
+		// reproducible; the slack only absorbs future tuning of the
+		// sketch/window parameters, not runner noise.
+		{"uniform", uniform(1), -0.02, 0.02},   // within noise either way
+		{"zipf_s0.8", zipf(0.8, 2), 0.05, -1},  // must win
+		{"zipf_s1.1", zipf(1.1, 3), 0.025, -1}, // must win
+		{"scan_mixed", scanMixed(4), 0.03, -1}, // the headline case
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lru := replay(PolicyLRU, capacity, tc.trace, keys)
+			tlfu := replay(PolicyTinyLFU, capacity, tc.trace, keys)
+			gain := tlfu - lru
+			t.Logf("hit ratio: lru=%.4f tinylfu=%.4f gain=%+.4f", lru, tlfu, gain)
+			if gain < tc.minGain {
+				t.Errorf("TinyLFU gain %+.4f below floor %+.4f (lru %.4f, tinylfu %.4f)",
+					gain, tc.minGain, lru, tlfu)
+			}
+			if tc.maxLoss >= 0 && gain > tc.maxLoss {
+				t.Errorf("TinyLFU gain %+.4f above uniform-noise ceiling %.4f", gain, tc.maxLoss)
+			}
+		})
+	}
+}

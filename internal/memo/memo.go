@@ -29,6 +29,20 @@
 // statistics fully determine the output), so a cache hit is byte-for-
 // byte identical to recomputation. Callers that mutate the underlying
 // state (core.Estimator.ObserveUnits) must Purge.
+//
+// Eviction policy: the cache runs either plain LRU (PolicyLRU, the
+// zero value — what New and NewSharded build) or a W-TinyLFU-style
+// admission policy (PolicyTinyLFU, via NewPolicy): a small window-LRU
+// in front of a frequency-gated main segment, with a per-shard 4-bit
+// count-min sketch + doorkeeper estimating each key's access
+// frequency. A key evicted from the window is admitted to the main
+// segment only if it is estimated more frequent than the main
+// segment's eviction victim; otherwise it is rejected (counted in
+// Stats.Rejections). That keeps one-hit wonders — a cold bulk scan's
+// keys — from evicting the hot head of a skewed workload. Both
+// policies share the same map, entry, counter and generation
+// machinery, so which policy runs never changes what values are
+// returned, only which keys survive. See DESIGN.md §15 and tinylfu.go.
 package memo
 
 import (
@@ -48,9 +62,24 @@ type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`  // current cached entries across all shards
-	Capacity  int    `json:"capacity"` // total capacity (0: cache stores nothing)
-	Shards    int    `json:"shards"`   // shard count (power of two)
+	// Rejections counts window-overflow candidates the TinyLFU
+	// admission filter dropped instead of admitting to the main
+	// segment (always 0 under PolicyLRU). Every insertion of a new key
+	// ends in exactly one of {resident entry, eviction, rejection}, so
+	// insertions == Entries + Evictions + Rejections at any quiescent
+	// point.
+	Rejections uint64 `json:"rejections"`
+	// Admissions counts window-overflow candidates that won the
+	// frequency duel (or found the main segment not yet full) and
+	// moved window → main (always 0 under PolicyLRU).
+	Admissions uint64 `json:"admissions"`
+	// SketchResets counts frequency-sketch aging events (all counters
+	// halved, doorkeeper cleared) across shards.
+	SketchResets uint64 `json:"sketch_resets"`
+	Entries      int    `json:"entries"`  // current cached entries across all shards
+	Capacity     int    `json:"capacity"` // total capacity (0: cache stores nothing)
+	Shards       int    `json:"shards"`   // shard count (power of two)
+	Policy       string `json:"policy"`   // eviction policy: "lru" or "tinylfu"
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -67,6 +96,7 @@ func (s Stats) HitRate() float64 {
 type Cache[V any] struct {
 	shards []shard[V]
 	mask   uint64 // len(shards) - 1; shard count is a power of two
+	policy Policy
 
 	// gen is the purge generation: bumped by Purge BEFORE any shard is
 	// cleared. A writer that snapshots Gen before computing a value and
@@ -76,29 +106,53 @@ type Cache[V any] struct {
 }
 
 // entry is an intrusive doubly-linked LRU list node. head is
-// most-recently used, tail is next to evict.
+// most-recently used, tail is next to evict. Under PolicyTinyLFU an
+// entry lives on exactly one of the shard's two lists (window or
+// main, per seg) and carries its key hash so the admission duel can
+// query the frequency sketch without rehashing the key.
 type entry[V any] struct {
 	key        string
 	val        V
 	prev, next *entry[V]
+	h          uint64
+	seg        uint8 // segMain (also all LRU entries) or segWindow
 }
+
+const (
+	segMain   = 0 // main segment list (head/tail); every entry under PolicyLRU
+	segWindow = 1 // window segment list (whead/wtail); PolicyTinyLFU only
+)
 
 type shard[V any] struct {
 	mu         sync.Mutex
 	capacity   int
 	m          map[string]*entry[V]
-	head, tail *entry[V]
+	head, tail *entry[V] // main-segment LRU list (the only list under PolicyLRU)
+
+	// PolicyTinyLFU state. The window list (whead/wtail) holds the
+	// newest windowCap insertions; overflow from it must win the
+	// admission duel against the main tail to enter the main list.
+	// windowCap + mainCap == capacity; all zero under PolicyLRU.
+	policy       Policy
+	whead, wtail *entry[V]
+	windowLen    int
+	windowCap    int
+	mainLen      int
+	mainCap      int
+	sk           sketch
 
 	// Per-shard counters, updated under mu (no atomics: the lock is
 	// already held at every update site). Each shard's counters share
 	// its cache lines, not its neighbors' — see the padding below.
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	rejections uint64
+	admissions uint64
 
 	// Pad shards apart so two workers hammering adjacent shards never
-	// false-share a line. The fields above total well under 2 lines;
-	// one full line of slack keeps the next shard's mutex off ours.
+	// false-share a line. One full line of slack keeps the next
+	// shard's mutex off this shard's hot counters.
 	_ [64]byte
 }
 
@@ -115,6 +169,14 @@ func New[V any](capacity int) *Cache[V] {
 // entries (minimum 1 per shard when capacity > 0, so the effective
 // capacity is at least the shard count).
 func NewSharded[V any](capacity, shards int) *Cache[V] {
+	return NewPolicy[V](capacity, shards, PolicyLRU)
+}
+
+// NewPolicy builds a cache with an explicit shard count and eviction
+// policy. Shard count and capacity behave exactly as in NewSharded;
+// the policy only decides which keys survive eviction pressure, never
+// what values lookups return.
+func NewPolicy[V any](capacity, shards int, policy Policy) *Cache[V] {
 	if shards < 1 {
 		shards = 1
 	}
@@ -126,13 +188,21 @@ func NewSharded[V any](capacity, shards int) *Cache[V] {
 	if capacity > 0 {
 		perShard = (capacity + n - 1) / n
 	}
-	c := &Cache[V]{shards: make([]shard[V], n), mask: uint64(n - 1)}
+	c := &Cache[V]{shards: make([]shard[V], n), mask: uint64(n - 1), policy: policy}
 	for i := range c.shards {
-		c.shards[i].capacity = perShard
-		c.shards[i].m = make(map[string]*entry[V])
+		s := &c.shards[i]
+		s.capacity = perShard
+		s.m = make(map[string]*entry[V])
+		s.policy = policy
+		if policy == PolicyTinyLFU && perShard > 0 {
+			s.initTinyLFU(perShard)
+		}
 	}
 	return c
 }
+
+// Policy returns the eviction policy the cache was built with.
+func (c *Cache[V]) Policy() Policy { return c.policy }
 
 // HashString is the 64-bit FNV-1a hash of a string key — the hash that
 // selects a key's shard. Inlined (no interface, no seed) to keep
@@ -191,6 +261,9 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 func (c *Cache[V]) GetHash(h uint64, key string) (V, bool) {
 	s := &c.shards[h&c.mask]
 	s.mu.Lock()
+	if s.policy == PolicyTinyLFU && s.capacity > 0 {
+		s.sk.touch(h)
+	}
 	e, ok := s.m[key]
 	if !ok {
 		s.misses++
@@ -198,7 +271,7 @@ func (c *Cache[V]) GetHash(h uint64, key string) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	s.moveToFront(e)
+	s.touchEntry(e)
 	v := e.val
 	s.hits++
 	s.mu.Unlock()
@@ -218,6 +291,9 @@ func (c *Cache[V]) GetBytes(key []byte) (V, bool) {
 func (c *Cache[V]) GetBytesHash(h uint64, key []byte) (V, bool) {
 	s := &c.shards[h&c.mask]
 	s.mu.Lock()
+	if s.policy == PolicyTinyLFU && s.capacity > 0 {
+		s.sk.touch(h)
+	}
 	e, ok := s.m[string(key)]
 	if !ok {
 		s.misses++
@@ -225,7 +301,7 @@ func (c *Cache[V]) GetBytesHash(h uint64, key []byte) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	s.moveToFront(e)
+	s.touchEntry(e)
 	v := e.val
 	s.hits++
 	s.mu.Unlock()
@@ -248,8 +324,19 @@ func (c *Cache[V]) PutHash(h uint64, key string, val V) {
 	s.mu.Lock()
 	if e, ok := s.m[key]; ok {
 		e.val = val
-		s.moveToFront(e)
+		s.touchEntry(e)
 		s.mu.Unlock()
+		return
+	}
+	s.insert(h, key, val)
+	s.mu.Unlock()
+}
+
+// insert adds a new key under the shard lock, applying the shard's
+// eviction policy when full. The key must not already be present.
+func (s *shard[V]) insert(h uint64, key string, val V) {
+	if s.policy == PolicyTinyLFU {
+		s.insertTinyLFU(h, key, val)
 		return
 	}
 	if len(s.m) >= s.capacity {
@@ -258,10 +345,9 @@ func (c *Cache[V]) PutHash(h uint64, key string, val V) {
 		delete(s.m, old.key)
 		s.evictions++
 	}
-	e := &entry[V]{key: key, val: val}
+	e := &entry[V]{key: key, val: val, h: h}
 	s.m[key] = e
 	s.pushFront(e)
-	s.mu.Unlock()
 }
 
 // Gen returns the current purge generation. Writers that compute
@@ -290,19 +376,11 @@ func (c *Cache[V]) PutHashGen(h uint64, key string, val V, gen uint64) {
 	}
 	if e, ok := s.m[key]; ok {
 		e.val = val
-		s.moveToFront(e)
+		s.touchEntry(e)
 		s.mu.Unlock()
 		return
 	}
-	if len(s.m) >= s.capacity {
-		old := s.tail
-		s.unlink(old)
-		delete(s.m, old.key)
-		s.evictions++
-	}
-	e := &entry[V]{key: key, val: val}
-	s.m[key] = e
-	s.pushFront(e)
+	s.insert(h, key, val)
 	s.mu.Unlock()
 }
 
@@ -322,6 +400,12 @@ func (c *Cache[V]) Len() int {
 // Purge still reports lifetime hits/misses/evictions. The generation
 // bump strictly precedes the first shard clear — the ordering
 // PutHashGen's no-resurrection guarantee rests on.
+//
+// The frequency sketch and doorkeeper deliberately survive Purge:
+// they estimate the workload's access pattern, which a database swap
+// does not change — only the cached values are stale. Keeping the
+// sketch means the hot head re-warms through admission immediately
+// after a reload instead of fighting one-hit wonders from scratch.
 func (c *Cache[V]) Purge() {
 	c.gen.Add(1)
 	for i := range c.shards {
@@ -329,6 +413,8 @@ func (c *Cache[V]) Purge() {
 		s.mu.Lock()
 		s.m = make(map[string]*entry[V])
 		s.head, s.tail = nil, nil
+		s.whead, s.wtail = nil, nil
+		s.windowLen, s.mainLen = 0, 0
 		s.mu.Unlock()
 	}
 }
@@ -350,6 +436,7 @@ func (c *Cache[V]) Stats() Stats {
 	st := Stats{
 		Capacity: c.Capacity(),
 		Shards:   len(c.shards),
+		Policy:   c.policy.String(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -357,6 +444,9 @@ func (c *Cache[V]) Stats() Stats {
 		st.Hits += s.hits
 		st.Misses += s.misses
 		st.Evictions += s.evictions
+		st.Rejections += s.rejections
+		st.Admissions += s.admissions
+		st.SketchResets += s.sk.resets
 		st.Entries += len(s.m)
 		s.mu.Unlock()
 	}
@@ -397,4 +487,14 @@ func (s *shard[V]) moveToFront(e *entry[V]) {
 	}
 	s.unlink(e)
 	s.pushFront(e)
+}
+
+// touchEntry marks e most-recently used within its own segment. Under
+// PolicyLRU every entry is segMain, so this is exactly moveToFront.
+func (s *shard[V]) touchEntry(e *entry[V]) {
+	if e.seg == segWindow {
+		s.wMoveToFront(e)
+	} else {
+		s.moveToFront(e)
+	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package memo
+
+const raceEnabled = false

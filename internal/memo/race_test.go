@@ -1,0 +1,10 @@
+//go:build race
+
+package memo
+
+// The race detector instruments every memory access and allocates for
+// its own bookkeeping, so testing.AllocsPerRun over-counts under -race.
+// The warm-path zero-allocation pins skip themselves when this flag is
+// set; the contract is still enforced by the normal test run and the
+// nightly allocs/op gate.
+const raceEnabled = true

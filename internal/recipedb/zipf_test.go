@@ -1,0 +1,98 @@
+package recipedb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfDeterministic: equal (n, s, seed) must yield the identical
+// draw sequence — the property load runs and hit-rate experiments
+// depend on for reproducibility.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(1000, 1.1, 42)
+	b := NewZipf(1000, 1.1, 42)
+	for i := 0; i < 10000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
+	}
+	c := NewZipf(1000, 1.1, 43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced the identical sequence")
+	}
+}
+
+// TestZipfRange: every draw must fall in [0, n), across exponents and
+// degenerate shapes.
+func TestZipfRange(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{1, 1.1}, {2, 0}, {10, 0.8}, {100, 2.5}, {1000, 1.0}} {
+		z := NewZipf(tc.n, tc.s, 7)
+		for i := 0; i < 5000; i++ {
+			if r := z.Next(); r < 0 || r >= tc.n {
+				t.Fatalf("n=%d s=%v: draw %d out of range", tc.n, tc.s, r)
+			}
+		}
+	}
+}
+
+// TestZipfRankEdges: CDF inversion at the boundaries of [0, 1).
+func TestZipfRankEdges(t *testing.T) {
+	z := NewZipf(100, 1.1, 1)
+	if r := z.Rank(0); r != 0 {
+		t.Fatalf("Rank(0) = %d, want 0 (the head rank)", r)
+	}
+	if r := z.Rank(math.Nextafter(1, 0)); r != 99 {
+		t.Fatalf("Rank(1-ε) = %d, want 99 (the tail rank)", r)
+	}
+}
+
+// TestZipfSkew: with s > 0 the head must dominate — rank 0 drawn far
+// more often than a tail rank — and more so at higher s; with s = 0
+// the distribution must be statistically uniform.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	counts := func(s float64) []int {
+		z := NewZipf(n, s, 99)
+		c := make([]int, n)
+		for i := 0; i < draws; i++ {
+			c[z.Next()]++
+		}
+		return c
+	}
+
+	c08, c11 := counts(0.8), counts(1.1)
+	// At s=0.8 over 1000 ranks the head holds ~2.6% of mass; at s=1.1
+	// ~12%. Both must beat uniform (0.1%) by a wide margin, and the
+	// higher exponent must be visibly more skewed.
+	if c08[0] < 10*draws/n {
+		t.Fatalf("s=0.8: head count %d not >> uniform %d", c08[0], draws/n)
+	}
+	if c11[0] < 2*c08[0] {
+		t.Fatalf("skew did not grow with s: head %d (s=1.1) vs %d (s=0.8)", c11[0], c08[0])
+	}
+	// Head outweighs the entire last-half tail at s=1.1.
+	tail := 0
+	for _, v := range c11[n/2:] {
+		tail += v
+	}
+	if c11[0] < tail {
+		t.Fatalf("s=1.1: head %d below tail-half sum %d", c11[0], tail)
+	}
+
+	c0 := counts(0)
+	want := draws / n
+	for k, v := range c0 {
+		if v < want/2 || v > want*2 {
+			t.Fatalf("s=0: rank %d count %d strays from uniform %d", k, v, want)
+		}
+	}
+}

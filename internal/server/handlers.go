@@ -279,10 +279,17 @@ type StatsResponse struct {
 }
 
 // handleMetrics serves the registry in Prometheus text format — the
-// same counters as /v1/stats HTTP section, rendered for scrape stacks.
+// same counters as /v1/stats HTTP section, rendered for scrape stacks
+// — followed by the estimator's memo-cache families (hits, misses,
+// evictions, admission outcomes, and the derived hit-ratio gauge),
+// snapshotted at scrape time. See memo_metrics.go.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", metrics.PrometheusContentType())
-	_ = s.reg.WritePrometheus(w)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	phrase, match := s.est.CacheStats()
+	_ = writeMemoMetrics(w, phrase, match)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

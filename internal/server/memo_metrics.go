@@ -1,0 +1,77 @@
+package server
+
+// Memo-cache families for GET /metrics. The registry's exposition
+// (internal/metrics) renders only HTTP-layer counters and knows
+// nothing about the estimator; the cache counters come from
+// memo.Stats snapshots taken at scrape time, so they are appended
+// here in the same text format (0.0.4) rather than registered. One
+// snapshot per cache per scrape keeps each family internally
+// consistent exactly as far as memo.Stats itself is.
+//
+// nutriserve_memo_hit_ratio is a derived gauge — hits/(hits+misses)
+// computed at scrape from the same snapshot the counter families
+// render, so dashboards get the ratio without a PromQL rate quotient
+// and loadgen can gate on it directly.
+
+import (
+	"io"
+	"strconv"
+
+	"nutriprofile/internal/memo"
+)
+
+// memoFamilies drives the exposition: one row per family, each
+// reading its value out of a memo.Stats snapshot. Counters first,
+// then gauges, names sorted within each group for deterministic
+// output.
+var memoFamilies = []struct {
+	name, help, typ string
+	value           func(st memo.Stats) float64
+}{
+	{"nutriserve_memo_admissions_total", "Window-overflow candidates admitted to the cache's main segment (TinyLFU).", "counter",
+		func(st memo.Stats) float64 { return float64(st.Admissions) }},
+	{"nutriserve_memo_evictions_total", "Entries evicted from the memo cache.", "counter",
+		func(st memo.Stats) float64 { return float64(st.Evictions) }},
+	{"nutriserve_memo_hits_total", "Memo cache lookup hits.", "counter",
+		func(st memo.Stats) float64 { return float64(st.Hits) }},
+	{"nutriserve_memo_misses_total", "Memo cache lookup misses.", "counter",
+		func(st memo.Stats) float64 { return float64(st.Misses) }},
+	{"nutriserve_memo_rejections_total", "Window-overflow candidates rejected by TinyLFU admission.", "counter",
+		func(st memo.Stats) float64 { return float64(st.Rejections) }},
+	{"nutriserve_memo_sketch_resets_total", "Frequency-sketch aging resets (counters halved, doorkeeper cleared).", "counter",
+		func(st memo.Stats) float64 { return float64(st.SketchResets) }},
+	{"nutriserve_memo_entries", "Entries currently resident in the memo cache.", "gauge",
+		func(st memo.Stats) float64 { return float64(st.Entries) }},
+	{"nutriserve_memo_hit_ratio", "Lifetime hit ratio, hits/(hits+misses), computed at scrape.", "gauge",
+		func(st memo.Stats) float64 { return st.HitRate() }},
+}
+
+// writeMemoMetrics renders the memo families for both caches. The
+// cache label distinguishes the phrase-level and match-level caches.
+func writeMemoMetrics(w io.Writer, phrase, match memo.Stats) error {
+	buf := make([]byte, 0, 2048)
+	for _, fam := range memoFamilies {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, fam.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, fam.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, fam.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, fam.typ...)
+		buf = append(buf, '\n')
+		for _, c := range []struct {
+			label string
+			st    memo.Stats
+		}{{"phrase", phrase}, {"match", match}} {
+			buf = append(buf, fam.name...)
+			buf = append(buf, `{cache="`...)
+			buf = append(buf, c.label...)
+			buf = append(buf, `"} `...)
+			buf = strconv.AppendFloat(buf, fam.value(c.st), 'g', -1, 64)
+			buf = append(buf, '\n')
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
