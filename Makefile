@@ -40,8 +40,12 @@ bench:
 # batch benchmarks also run at -cpu 1,4,8 so the artifact records the
 # multi-core scaling curve; benchfmt keys entries by (name, procs) and
 # derives each series' parallel efficiency ns1/(N·nsN) into the report.
+# BenchmarkRankCold / BenchmarkRankLongPostings (spelled explicitly
+# below, though the BenchmarkRank substring already matches them) pin
+# the pruned-vs-exhaustive ranking engines at seed and SR26 scale —
+# the speedup EXPERIMENTS.md quotes is read off this artifact.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch/^(sequential|cached_warm)$$|BenchmarkTagPhrase|BenchmarkPipelineScratch|BenchmarkServeEstimate|BenchmarkServeRecipe' \
+	$(GO) test -run xxx -bench 'BenchmarkMatchName|BenchmarkRank|BenchmarkRankCold|BenchmarkRankLongPostings|BenchmarkMatchSeed|BenchmarkMatchLargeDB|BenchmarkEstimateBatch/^(sequential|cached_warm)$$|BenchmarkTagPhrase|BenchmarkPipelineScratch|BenchmarkServeEstimate|BenchmarkServeRecipe' \
 		-benchmem -benchtime=1s ./internal/match/ ./internal/server/ . | tee bench_match.txt
 	$(GO) test -run xxx -bench 'BenchmarkLoadBaked|BenchmarkLoadParse' \
 		-benchmem -benchtime=1s ./internal/usda/bake/ | tee -a bench_match.txt
@@ -67,6 +71,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPipelineScratch -fuzztime 15s ./internal/pipeline/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/recipedb/
 	$(GO) test -fuzz FuzzMemoAdmission -fuzztime 15s ./internal/memo/
+	$(GO) test -fuzz FuzzPruneDifferential -fuzztime 15s ./internal/match/
 	$(GO) test -fuzz FuzzParse -fuzztime 15s ./internal/usda/sr/
 	$(GO) test -fuzz FuzzLoad -fuzztime 15s ./internal/usda/bake/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 15s -run xxx ./internal/server/
@@ -148,6 +153,8 @@ load-smoke:
 		-slo-p99 2s -min-rps 200 -max-shed-frac 0.5 -metrics-check; \
 	/tmp/loadgen -addr http://$(LOAD_ADDR) -recipes 500 -bulk 1 -interactive 4 \
 		-zipf 1.1 -min-hit-ratio 0.25 -max-shed-frac 0.5; \
+	/tmp/loadgen -addr http://$(LOAD_ADDR) -recipes 500 -bulk 2 -interactive 2 \
+		-cold -min-rps 100 -max-shed-frac 0.5; \
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT; \
 	echo "load-smoke: OK"

@@ -79,6 +79,7 @@ func main() {
 	metricsCheck := flag.Bool("metrics-check", false, "scrape /metrics before and after and verify the batch counter deltas")
 	zipfS := flag.Float64("zipf", 0, "Zipf skew s for interactive phrase/recipe popularity (0: uniform)")
 	minHitRatio := flag.Float64("min-hit-ratio", 0, "fail if the server's phrase-cache hit ratio over the run falls below this (scrapes /metrics; 0 disables)")
+	cold := flag.Bool("cold", false, "salt every bulk phrase with a unique token: 100% cache misses, so the run measures the matcher-bound cold path (-min-rps becomes the cold-path recipes/s floor)")
 	flag.Parse()
 
 	n := *recipes
@@ -100,7 +101,7 @@ func main() {
 	counts := make([]int, *bulk)
 	var phrases []string
 	var sampleRecipes []recipeLine
-	i := 0
+	i, saltID := 0, 0
 	err := recipedb.Each(recipedb.Config{NumRecipes: n, Seed: *seed}, func(r recipedb.Recipe) bool {
 		line := recipeLine{Ingredients: make([]string, len(r.Ingredients)), Servings: r.Servings}
 		for j := range r.Ingredients {
@@ -109,7 +110,22 @@ func main() {
 		if r.Method != yield.None {
 			line.Method = r.Method.String()
 		}
-		b, merr := json.Marshal(line)
+		// -cold salts the wire copy only: every bulk phrase gets a
+		// globally unique (out-of-vocabulary) trailing token, so no two
+		// lines share a normalized token stream and every single phrase
+		// misses the phrase cache, the slot L1s, and the flight layer —
+		// the matcher pays full ranking cost for the whole corpus. The
+		// interactive mix and samples keep the unsalted phrases.
+		wire := line
+		if *cold {
+			salted := make([]string, len(line.Ingredients))
+			for j, p := range line.Ingredients {
+				saltID++
+				salted[j] = p + " zzcold" + strconv.Itoa(saltID)
+			}
+			wire.Ingredients = salted
+		}
+		b, merr := json.Marshal(wire)
 		if merr != nil {
 			fatalf("rendering recipe %d: %v", r.ID, merr)
 		}
@@ -133,8 +149,12 @@ func main() {
 	for _, c := range counts {
 		total += c
 	}
-	fmt.Printf("loadgen: corpus ready: %d recipes across %d bulk streams (%d interactive workers, zipf s=%g)\n",
-		total, *bulk, *interactive, *zipfS)
+	mode := "warm"
+	if *cold {
+		mode = "cold (salted, 100% miss)"
+	}
+	fmt.Printf("loadgen: corpus ready: %d recipes across %d bulk streams (%d interactive workers, zipf s=%g, %s)\n",
+		total, *bulk, *interactive, *zipfS, mode)
 
 	// With -zipf the interactive mix draws keys by Zipf rank — rank 0
 	// is the hottest phrase — modeling the head-heavy popularity of a

@@ -127,12 +127,26 @@ type Options struct {
 	// identical either way; the switch exists for the scaling ablation
 	// benchmarks.
 	DisableSharding bool
+	// DisableMatchPruning selects the matcher's straight-line exhaustive
+	// scoring engine instead of the candidate-pruned one (match.Options.
+	// DisablePruning). Rankings are byte-identical either way — the
+	// switch exists as the cold-path performance ablation, threaded to
+	// the CLIs as -match-pruning.
+	DisableMatchPruning bool
 	// Ablation switches.
 	DisableConversion   bool
 	DisablePhraseSearch bool
 	DisableMostFrequent bool
 	DisableDefaultRow   bool
 	DisableRepair       bool
+}
+
+// matchOptions is the match-engine configuration the estimator's
+// options select: engine defaults plus the pruning ablation.
+func (o Options) matchOptions() match.Options {
+	mo := match.DefaultOptions()
+	mo.DisablePruning = o.DisableMatchPruning
+	return mo
 }
 
 func (o *Options) fill() {
@@ -194,7 +208,7 @@ func New(db *usda.DB, tagger ner.Tagger, opts Options) (*Estimator, error) {
 	if db == nil {
 		return nil, errors.New("core: nil database")
 	}
-	return newEstimator(db, match.NewDefault(db), tagger, opts, "boot")
+	return newEstimator(db, match.New(db, opts.matchOptions()), tagger, opts, "boot")
 }
 
 // NewWithIndex builds an Estimator whose matcher adopts a prebuilt
@@ -206,7 +220,7 @@ func NewWithIndex(db *usda.DB, tagger ner.Tagger, opts Options, idx *match.Index
 		return nil, errors.New("core: nil database")
 	}
 	opts.fill()
-	m, err := match.NewFromIndex(db, match.DefaultOptions(), idx)
+	m, err := match.NewFromIndex(db, opts.matchOptions(), idx)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +300,8 @@ type RecipeResult struct {
 func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 	sc := pipeline.Get()
 	defer pipeline.Put(sc)
-	return e.estimateCached(e.pin(), phrase, sc, nil)
+	r, _ := e.estimateCached(e.pin(), phrase, sc, nil)
+	return r
 }
 
 // estimateCached is EstimateIngredient on a caller-owned scratch: the
@@ -304,9 +319,14 @@ func (e *Estimator) EstimateIngredient(phrase string) IngredientResult {
 // PutHashGen with the generation captured at pin time, so a result
 // computed against a snapshot that a concurrent Install/ObserveUnits
 // has since retired is dropped instead of cached (snapshot.go).
-func (e *Estimator) estimateCached(v view, phrase string, sc *pipeline.Scratch, sess *match.Session) IngredientResult {
+//
+// The second return is the phrase-cache key hash (0 when caching is
+// off): the slot-L1 tier above stores it alongside the result so its
+// hits can keep feeding the TinyLFU admission sketch (TouchHash)
+// without re-normalizing the phrase.
+func (e *Estimator) estimateCached(v view, phrase string, sc *pipeline.Scratch, sess *match.Session) (IngredientResult, uint64) {
 	if e.phraseCache == nil {
-		return e.estimateIngredient(v, phrase, sc, sess)
+		return e.estimateIngredient(v, phrase, sc, sess), 0
 	}
 	sc.Tokenize(phrase)
 	key := sc.PhraseKey()
@@ -315,7 +335,7 @@ func (e *Estimator) estimateCached(v view, phrase string, sc *pipeline.Scratch, 
 		// The cached computation is keyed on the token stream; only the
 		// verbatim Phrase field can differ.
 		r.Phrase = phrase
-		return r
+		return r, h
 	}
 	if e.opts.DisableCoalescing {
 		r := e.estimateTokenized(v, phrase, sc, sess)
@@ -327,7 +347,7 @@ func (e *Estimator) estimateCached(v view, phrase string, sc *pipeline.Scratch, 
 		stored := r
 		stored.Phrase = ""
 		e.phraseCache.PutHashGen(h, string(key), stored, v.phraseGen)
-		return r
+		return r, h
 	}
 	// Coalesce concurrent misses on the same token stream: under load,
 	// the same phrase is often requested again while the first pipeline
@@ -342,7 +362,7 @@ func (e *Estimator) estimateCached(v view, phrase string, sc *pipeline.Scratch, 
 		return r
 	})
 	r.Phrase = phrase
-	return r
+	return r, h
 }
 
 // FlightStats reports the single-flight coalescing counters: how many
@@ -357,7 +377,8 @@ func (e *Estimator) FlightStats() flight.Stats { return e.flights.Stats() }
 // results retain it past the call. The same read-only contract as
 // EstimateIngredient applies to the returned result.
 func (e *Estimator) EstimateIngredientScratch(phrase string, sc *pipeline.Scratch) IngredientResult {
-	return e.estimateCached(e.pin(), phrase, sc, nil)
+	r, _ := e.estimateCached(e.pin(), phrase, sc, nil)
+	return r
 }
 
 // matchQuery runs the configured description match, memoized when the

@@ -73,9 +73,20 @@ const (
 // cache line.
 type slot struct {
 	mu  sync.Mutex
-	l1  map[string]IngredientResult
+	l1  map[string]l1Entry
 	gen uint64 // Snapshot.gen the l1 contents were computed against
 	_   [64]byte
+}
+
+// l1Entry is one slot-L1 cached result plus the L2 phrase-cache key
+// hash it was stored under. L1 hits never reach the L2 cache, so the
+// stored hash is replayed into the TinyLFU admission sketch
+// (memo.TouchHash) on every hit — without it, exactly the hottest
+// phrases (the ones the L1 absorbs) would stop accruing frequency and
+// lose admission duels to cold bulk-scan keys after a sketch reset.
+type l1Entry struct {
+	res IngredientResult
+	l2h uint64 // phrase-cache key hash; 0 when caching is disabled
 }
 
 // env is one worker environment: the per-goroutine NLP scratch arena
@@ -234,22 +245,26 @@ func (e *Estimator) flushWorker(w *worker, stripe int) {
 func (e *Estimator) estimateSlot(v view, phrase string, w *worker, sl *slot) IngredientResult {
 	w.phrases++
 	if sl != nil {
-		if r, ok := sl.l1[phrase]; ok {
+		if ent, ok := sl.l1[phrase]; ok {
 			w.l1Hits++
+			if e.phraseCache != nil {
+				e.phraseCache.TouchHash(ent.l2h)
+			}
+			r := ent.res
 			r.Phrase = phrase
 			return r
 		}
 	}
-	r := e.estimateCached(v, phrase, w.env.sc, w.env.sess)
+	r, l2h := e.estimateCached(v, phrase, w.env.sc, w.env.sess)
 	if sl != nil {
 		stored := r
 		stored.Phrase = ""
 		if sl.l1 == nil {
-			sl.l1 = make(map[string]IngredientResult, 64)
+			sl.l1 = make(map[string]l1Entry, 64)
 		} else if len(sl.l1) >= maxL1Entries {
 			clear(sl.l1)
 		}
-		sl.l1[strings.Clone(phrase)] = stored
+		sl.l1[strings.Clone(phrase)] = l1Entry{res: stored, l2h: l2h}
 	}
 	return r
 }

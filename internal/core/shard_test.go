@@ -200,6 +200,31 @@ func TestShardStatsFlushTotals(t *testing.T) {
 	}
 }
 
+// TestSlotL1HitsFeedAdmissionSketch pins the L1→L2 frequency feed:
+// every slot-L1 hit must replay its phrase's L2 key hash into the
+// TinyLFU admission sketch (memo.TouchHash), so the exact algebra
+// phrase-cache Touches == shard L1Hits holds — the hottest phrases
+// (absorbed by the L1) keep accruing the frequency that wins them
+// admission duels against cold bulk-scan traffic.
+func TestSlotL1HitsFeedAdmissionSketch(t *testing.T) {
+	phrases := stormPhrases(t)
+	e, err := New(usda.Seed(), nil, Options{CacheSize: 1 << 12, CachePolicy: memo.PolicyTinyLFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EstimateBatchWorkers(phrases, 4)
+	e.EstimateBatchWorkers(phrases, 4)
+
+	st := e.ShardStats()
+	if st.L1Hits == 0 {
+		t.Fatal("L1Hits = 0: repeat traffic never hit a slot L1")
+	}
+	ps, _ := e.CacheStats()
+	if ps.Touches != st.L1Hits {
+		t.Errorf("phrase-cache Touches = %d, want exactly L1Hits = %d", ps.Touches, st.L1Hits)
+	}
+}
+
 // TestObserveUnitsInvalidatesSlotL1 pins the epoch contract: a sharded
 // batch warms the slot L1s, ObserveUnits changes the unit statistics,
 // and the next sharded batch must serve recomputed results — not the

@@ -30,6 +30,17 @@ type arena struct {
 	touched []int32 // documents marked live this query (anchor hits)
 	cands   []cand  // selection buffer for the bounded top-k heap
 
+	// Pruned-engine scratch (prune.go): packed per-document accumulators
+	// (one cache line instead of three per doc touch — the walks access
+	// documents randomly, so stamp/inter/pri on one 12-byte entry halve
+	// the engine's memory traffic versus the spec's parallel arrays),
+	// the df-ordered term schedule, and the histogram of live candidates'
+	// intersection counts the bar tests read. Grown on demand and reused
+	// across queries like every other arena slice.
+	acc   []accEntry
+	sched []schedTerm
+	histo []int32
+
 	// Query-preparation scratch (see prepare).
 	toks      []string // raw lower-cased word tokens
 	norm      []string // normalized tokens, name first then extras
@@ -42,11 +53,20 @@ type arena struct {
 	rawEligible bool // §II-B(g) provision applies to this query
 }
 
+// accEntry is the pruned engine's per-document accumulator: the epoch
+// stamp and both counters on a single cache line.
+type accEntry struct {
+	stamp uint32 // == arena epoch ⇔ inter/pri are live this query
+	inter int32  // |A ∩ doc|
+	pri   int32  // Σ matched-term priorities (§II-B(h))
+}
+
 func newArena(docs int) *arena {
 	return &arena{
 		stamp: make([]uint32, docs),
 		inter: make([]int32, docs),
 		pri:   make([]int32, docs),
+		acc:   make([]accEntry, docs),
 	}
 }
 
@@ -55,6 +75,7 @@ func (a *arena) nextEpoch() uint32 {
 	a.epoch++
 	if a.epoch == 0 { // wraparound: invalidate stale stamps for real
 		clear(a.stamp)
+		clear(a.acc)
 		a.epoch = 1
 	}
 	return a.epoch

@@ -58,6 +58,14 @@ type Options struct {
 	// MinScore is the score below which a query is reported unmatched.
 	// The paper treats any nonzero overlap as a (possibly poor) match.
 	MinScore float64
+	// DisablePruning selects the straight-line exhaustive scoring engine
+	// instead of the candidate-pruned one (prune.go): every scored
+	// term's posting list is walked in full and every touched document
+	// is scored. The two engines are byte-identical in results — the
+	// pruned engine's early termination is provably exact, and the
+	// golden/fuzz differentials pin it — so this switch is a pure
+	// performance ablation (threaded to the CLIs as -match-pruning).
+	DisablePruning bool
 	// ExplainMatched materializes Result.Matched — the sorted query
 	// words found in each returned description — for explain-style
 	// output (dbtool -search, examples/matcher). It is off by default:
@@ -146,6 +154,16 @@ type Matcher struct {
 	arenas     sync.Pool
 	poolGets   atomic.Uint64
 	poolMisses atomic.Uint64
+
+	// Pruned-engine instrumentation (prune.go), batched per query and
+	// flushed once, so the counters cost a handful of uncontended atomic
+	// adds per rank, not one per posting decision.
+	pruneTermsSkipped    atomic.Uint64
+	prunePostingsAvoided atomic.Uint64
+	pruneDocsDropped     atomic.Uint64
+	pruneCompactions     atomic.Uint64
+	pruneGatherExits     atomic.Uint64
+	adaptiveProbeTerms   atomic.Uint64
 }
 
 // Index is the matcher's prebuilt scoring index in its exact in-memory
@@ -460,7 +478,27 @@ func (m *Matcher) RankInto(q Query, k int, dst []Result) []Result {
 // accumulate term-at-a-time over posting lists, then select and order
 // the top k (all, for k ≤ 0) under the total order. The returned slice
 // lives in the arena and is valid until putArena.
+//
+// Two engines implement this contract: the candidate-pruned engine
+// (prune.go — df-ordered scheduling, adaptive posting-vs-candidate
+// scoring, exact quit/continue early termination) and the exhaustive
+// engine below, which is retained as the executable specification the
+// differential suites compare against. They return byte-identical
+// results; Options.DisablePruning selects the spec engine.
 func (m *Matcher) rankCands(a *arena, q Query, k int) []cand {
+	if m.opts.DisablePruning {
+		return m.rankCandsExhaustive(a, q, k)
+	}
+	return m.rankCandsPruned(a, q, k)
+}
+
+// rankCandsExhaustive is the straight-line engine: a gather pass over
+// the anchor posting lists, a full scoring pass over every scored
+// term's posting list, then selection. No early termination, no
+// adaptive lookups — every equality below is trivially exact, which is
+// what makes it the spec the pruned engine is differential-tested
+// against (prune_test.go, golden_test.go).
+func (m *Matcher) rankCandsExhaustive(a *arena, q Query, k int) []cand {
 	if !a.prepare(m, q) {
 		return nil
 	}
@@ -554,7 +592,7 @@ func (m *Matcher) fillResult(a *arena, c cand, r *Result) {
 // every scored candidate now happens at most k times per query.
 func (m *Matcher) matchedWords(a *arena, d int32) []string {
 	doc := m.docIDs(d)
-	matched := make([]string, 0, a.inter[d])
+	matched := make([]string, 0, len(a.words))
 	// a.words is lexically sorted by prepare under ExplainMatched, so
 	// filtering preserves sortedness.
 	for i, w := range a.words {
@@ -600,6 +638,16 @@ type MatcherStats struct {
 	PostingEntries int    `json:"posting_entries"` // total (term, doc) postings
 	PoolGets       uint64 `json:"pool_gets"`       // arena checkouts (one per query)
 	PoolMisses     uint64 `json:"pool_misses"`     // checkouts that had to allocate a fresh arena
+
+	// Pruned-engine counters (prune.go); all zero when the matcher runs
+	// with Options.DisablePruning.
+	PruningEnabled       bool   `json:"pruning_enabled"`        // the candidate-pruned engine is active
+	PruneTermsSkipped    uint64 `json:"prune_terms_skipped"`    // scored terms never applied (candidate set emptied)
+	PrunePostingsAvoided uint64 `json:"prune_postings_avoided"` // posting entries never sequentially scanned
+	PruneDocsDropped     uint64 `json:"prune_docs_dropped"`     // candidates dropped by bar compaction
+	PruneCompactions     uint64 `json:"prune_compactions"`      // bar compaction passes over the candidate set
+	PruneGatherExits     uint64 `json:"prune_gather_exits"`     // queries that switched gather → update-only mode
+	AdaptiveProbeTerms   uint64 `json:"adaptive_probe_terms"`   // terms scored by candidate probes instead of posting walks
 }
 
 // PoolHitRate returns the fraction of queries served by a recycled
@@ -621,12 +669,19 @@ func (m *Matcher) Stats() MatcherStats {
 		}
 	}
 	return MatcherStats{
-		Docs:           m.db.Len(),
-		VocabSize:      m.vocab.Len(),
-		PostingLists:   lists,
-		PostingEntries: len(m.postDocs),
-		PoolGets:       m.poolGets.Load(),
-		PoolMisses:     m.poolMisses.Load(),
+		Docs:                 m.db.Len(),
+		VocabSize:            m.vocab.Len(),
+		PostingLists:         lists,
+		PostingEntries:       len(m.postDocs),
+		PoolGets:             m.poolGets.Load(),
+		PoolMisses:           m.poolMisses.Load(),
+		PruningEnabled:       !m.opts.DisablePruning,
+		PruneTermsSkipped:    m.pruneTermsSkipped.Load(),
+		PrunePostingsAvoided: m.prunePostingsAvoided.Load(),
+		PruneDocsDropped:     m.pruneDocsDropped.Load(),
+		PruneCompactions:     m.pruneCompactions.Load(),
+		PruneGatherExits:     m.pruneGatherExits.Load(),
+		AdaptiveProbeTerms:   m.adaptiveProbeTerms.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@ package match
 // so an accidental allocation fails fast, not just in nightly benchstat.
 
 import (
+	"fmt"
 	"testing"
 
 	"nutriprofile/internal/usda"
@@ -68,6 +69,72 @@ func BenchmarkRankLargeDB(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = m.RankInto(Query{Name: "golden harvest beans"}, 10, buf)
+	}
+}
+
+// longPostingQueries are the pruning engine's target workload: names
+// and folded entities that drag stop-word-like terms ("raw", "whole",
+// "with salt") whose posting lists span hundreds-to-thousands of
+// documents at SR26 scale. The mix covers the three pruning wins:
+// heavy terms inside the anchor (merged gather+score), a rare anchor
+// with a heavy folded state (adaptive candidate probing), and
+// many-term names (gather-exit + bar compaction).
+var longPostingQueries = []Query{
+	{Name: "chicken raw"},
+	{Name: "raw whole milk"},
+	{Name: "tomato paste", State: "raw"},
+	{Name: "golden harvest beans", State: "frozen"},
+	{Name: "whole raw cream cheese with salt"},
+	{Name: "quail", State: "raw"},
+}
+
+// benchRankEngines runs one query set over both engines at k ∈ {1, 10}:
+// the pruned/exhaustive pairing is what the nightly bench gate tracks
+// and EXPERIMENTS.md quotes as the pruning speedup.
+func benchRankEngines(b *testing.B, db *usda.DB, queries []Query) {
+	for _, eng := range []struct {
+		name    string
+		disable bool
+	}{{"pruned", false}, {"exhaustive", true}} {
+		opts := DefaultOptions()
+		opts.DisablePruning = eng.disable
+		m := New(db, opts)
+		for _, k := range []int{1, 10} {
+			b.Run(fmt.Sprintf("%s/k=%d", eng.name, k), func(b *testing.B) {
+				var buf []Result
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf = m.RankInto(queries[i%len(queries)], k, buf)
+					if len(buf) == 0 {
+						b.Fatal("no results")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRankCold is the cache-miss ranking cost on the realistic
+// query mix — the per-phrase price every cold batch pays — at seed and
+// SR26 scale, both engines.
+func BenchmarkRankCold(b *testing.B) {
+	for _, sc := range []struct {
+		name string
+		db   *usda.DB
+	}{{"seed", usda.Seed()}, {"sr26", usda.Merged(7500, 3)}} {
+		b.Run(sc.name, func(b *testing.B) { benchRankEngines(b, sc.db, benchQueries) })
+	}
+}
+
+// BenchmarkRankLongPostings is BenchmarkRankCold on the long-posting
+// workload the pruned engine exists for.
+func BenchmarkRankLongPostings(b *testing.B) {
+	for _, sc := range []struct {
+		name string
+		db   *usda.DB
+	}{{"seed", usda.Seed()}, {"sr26", usda.Merged(7500, 3)}} {
+		b.Run(sc.name, func(b *testing.B) { benchRankEngines(b, sc.db, longPostingQueries) })
 	}
 }
 

@@ -73,6 +73,11 @@ type Stats struct {
 	// frequency duel (or found the main segment not yet full) and
 	// moved window → main (always 0 under PolicyLRU).
 	Admissions uint64 `json:"admissions"`
+	// Touches counts out-of-band TouchHash frequency notifications —
+	// hits served by caller-side tiers (e.g. the estimator's per-worker
+	// slot L1s) that fed the admission sketch without probing the cache
+	// (always 0 under PolicyLRU).
+	Touches uint64 `json:"touches"`
 	// SketchResets counts frequency-sketch aging events (all counters
 	// halved, doorkeeper cleared) across shards.
 	SketchResets uint64 `json:"sketch_resets"`
@@ -149,6 +154,7 @@ type shard[V any] struct {
 	evictions  uint64
 	rejections uint64
 	admissions uint64
+	touchCount uint64
 
 	// Pad shards apart so two workers hammering adjacent shards never
 	// false-share a line. One full line of slack keeps the next
@@ -308,6 +314,23 @@ func (c *Cache[V]) GetBytesHash(h uint64, key []byte) (V, bool) {
 	return v, true
 }
 
+// TouchHash records one access to the key hashing to h for the TinyLFU
+// admission sketch without probing (or perturbing) the cache itself: no
+// entry is looked up, no LRU list moves, no hit/miss counter changes.
+// It exists for caller-side cache tiers sitting above this one — their
+// hits never reach Get, which would otherwise starve the frequency
+// signal for exactly the hottest keys and let cold bulk scans evict
+// them. Under PolicyLRU (no sketch) it is a no-op beyond the counter.
+func (c *Cache[V]) TouchHash(h uint64) {
+	s := &c.shards[h&c.mask]
+	s.mu.Lock()
+	if s.policy == PolicyTinyLFU && s.capacity > 0 {
+		s.sk.touch(h)
+		s.touchCount++
+	}
+	s.mu.Unlock()
+}
+
 // Put inserts or refreshes key, evicting the least-recently-used entry
 // of its shard when the shard is full. On a zero-capacity cache Put is
 // a no-op.
@@ -446,6 +469,7 @@ func (c *Cache[V]) Stats() Stats {
 		st.Evictions += s.evictions
 		st.Rejections += s.rejections
 		st.Admissions += s.admissions
+		st.Touches += s.touchCount
 		st.SketchResets += s.sk.resets
 		st.Entries += len(s.m)
 		s.mu.Unlock()

@@ -1,0 +1,49 @@
+package memo
+
+import "testing"
+
+// TestTouchHashBuildsFrequency: the out-of-band touch path must feed
+// the admission sketch exactly like a probe would — without perturbing
+// entries, LRU order, or the hit/miss counters. This is the contract
+// the estimator's slot-L1 tier relies on: its hits never reach Get, so
+// TouchHash is the only thing keeping the hottest keys' frequency
+// alive across sketch resets.
+func TestTouchHashBuildsFrequency(t *testing.T) {
+	c := NewPolicy[int](64, 1, PolicyTinyLFU)
+	s := &c.shards[0]
+	h := HashString("slot-l1-hotkey")
+	for i := 0; i < 10; i++ {
+		c.TouchHash(h)
+	}
+	s.mu.Lock()
+	freq := s.sk.estimate(h)
+	cold := s.sk.estimate(HashString("never-seen"))
+	s.mu.Unlock()
+	if freq <= cold {
+		t.Fatalf("10 touches left estimate %d, cold key %d", freq, cold)
+	}
+	st := c.Stats()
+	if st.Touches != 10 {
+		t.Fatalf("Touches = %d, want 10", st.Touches)
+	}
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("TouchHash perturbed the cache: hits=%d misses=%d entries=%d, want all 0",
+			st.Hits, st.Misses, st.Entries)
+	}
+}
+
+// TestTouchHashNoopPaths: under PolicyLRU (no sketch) and on
+// zero-capacity caches the touch must be a safe no-op — the slot L1
+// calls it unconditionally whenever a phrase cache exists.
+func TestTouchHashNoopPaths(t *testing.T) {
+	lru := New[int](64)
+	lru.TouchHash(HashString("x"))
+	if st := lru.Stats(); st.Touches != 0 {
+		t.Fatalf("LRU Touches = %d, want 0", st.Touches)
+	}
+	empty := NewPolicy[int](0, 1, PolicyTinyLFU)
+	empty.TouchHash(HashString("x"))
+	if st := empty.Stats(); st.Touches != 0 {
+		t.Fatalf("zero-capacity Touches = %d, want 0", st.Touches)
+	}
+}
